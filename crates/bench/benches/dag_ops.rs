@@ -1,0 +1,82 @@
+//! DAG machinery: generation, validation, topological order, reduction
+//! and frontier-driven completion at the paper's 100-job scale and above.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sphinx_dag::{reduce, Frontier, WorkloadSpec};
+use sphinx_sim::SimRng;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_generate");
+    for &jobs in &[100u32, 1000] {
+        group.throughput(Throughput::Elements(jobs as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            let spec = WorkloadSpec::small(1, jobs);
+            let rng = SimRng::new(7);
+            b.iter(|| spec.generate(&rng, 0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_topo_and_validate(c: &mut Criterion) {
+    let dag = WorkloadSpec::small(1, 1000)
+        .generate(&SimRng::new(7), 0)
+        .remove(0);
+    let mut group = c.benchmark_group("dag_analysis");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("topo_order_1000", |b| b.iter(|| dag.topo_order()));
+    group.bench_function("validate_1000", |b| b.iter(|| dag.validate()));
+    group.bench_function("depth_1000", |b| b.iter(|| dag.depth()));
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let dag = WorkloadSpec::paper(1)
+        .generate(&SimRng::new(7), 0)
+        .remove(0);
+    let mut group = c.benchmark_group("dag_reduce");
+    group.throughput(Throughput::Elements(dag.len() as u64));
+    group.bench_function("nothing_exists", |b| {
+        b.iter(|| reduce(&dag, |_| false));
+    });
+    group.bench_function("half_exists", |b| {
+        b.iter(|| {
+            let mut i = 0u32;
+            reduce(&dag, |_| {
+                i += 1;
+                i.is_multiple_of(2)
+            })
+        });
+    });
+    group.finish();
+}
+
+fn bench_frontier(c: &mut Criterion) {
+    let dag = WorkloadSpec::paper(1)
+        .generate(&SimRng::new(7), 0)
+        .remove(0);
+    let mut group = c.benchmark_group("frontier");
+    group.throughput(Throughput::Elements(dag.len() as u64));
+    group.bench_function("drive_100_jobs_to_completion", |b| {
+        b.iter(|| {
+            let mut f = Frontier::new(&dag);
+            while !f.is_finished() {
+                let ready = f.ready();
+                for j in ready {
+                    f.complete(j);
+                }
+            }
+            f.completed_count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_topo_and_validate,
+    bench_reduce,
+    bench_frontier
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Event-queue throughput: the hot core of the grid simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sphinx_sim::{EventQueue, SimRng, SimTime};
+
+fn bench_push_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &n in &[1_000u64, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("push_then_drain", n), &n, |b, &n| {
+            let mut rng = SimRng::new(1);
+            let times: Vec<SimTime> = (0..n)
+                .map(|_| SimTime::from_millis(rng.range_u64(0, 1_000_000)))
+                .collect();
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(t, i);
+                }
+                let mut acc = 0usize;
+                while let Some((_, e)) = q.pop() {
+                    acc = acc.wrapping_add(e);
+                }
+                acc
+            });
+        });
+    }
+    // Steady-state churn: queue holds ~1k events, each pop schedules a
+    // follow-up (the simulator's actual access pattern).
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("steady_state_churn", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(2);
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.push(SimTime::from_millis(i), i);
+            }
+            for _ in 0..10_000 {
+                let (t, e) = q.pop().expect("non-empty");
+                q.push(
+                    t + sphinx_sim::Duration::from_millis(rng.range_u64(1, 1_000)),
+                    e,
+                );
+            }
+            q.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_push_pop);
+criterion_main!(benches);

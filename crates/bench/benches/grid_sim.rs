@@ -1,0 +1,56 @@
+//! Whole-grid simulation throughput: events per second of the full
+//! Grid3-scale substrate, and an end-to-end scheduling run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sphinx_core::strategy::StrategyKind;
+use sphinx_sim::{Duration, SimTime};
+use sphinx_workloads::{grid3, Scenario};
+
+fn bench_background_churn(c: &mut Criterion) {
+    // One simulated hour of pure background load on the full catalog.
+    let mut group = c.benchmark_group("grid_sim");
+    group.sample_size(10);
+    group.bench_function("background_hour_15_sites", |b| {
+        b.iter(|| {
+            let mut grid = sphinx_grid::GridSim::new(
+                grid3::catalog(),
+                sphinx_data::TransferModel::default(),
+                42,
+            );
+            grid.run_until(SimTime::from_secs(3600));
+            grid.poll().len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_run");
+    group.sample_size(10);
+    for &(dags, jobs) in &[(1u32, 50u32), (3, 100)] {
+        let total = (dags * jobs) as u64;
+        group.throughput(Throughput::Elements(total));
+        group.bench_with_input(
+            BenchmarkId::new("paper_workload", format!("{dags}x{jobs}")),
+            &(dags, jobs),
+            |b, &(dags, jobs)| {
+                b.iter(|| {
+                    let report = Scenario::builder()
+                        .seed(5)
+                        .sites(grid3::catalog())
+                        .dags(dags, jobs)
+                        .strategy(StrategyKind::CompletionTime)
+                        .horizon(Duration::from_secs(48 * 3600))
+                        .build()
+                        .run();
+                    assert!(report.finished);
+                    report.jobs_completed
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_background_churn, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Replica location service: the batched ("clubbed") lookup the paper
+//! highlights versus per-file round-trips, and registration throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sphinx_data::{LogicalFile, ReplicaService, SiteId};
+use sphinx_sim::SimRng;
+
+fn populated(files: u64, sites: u32) -> (ReplicaService, Vec<LogicalFile>) {
+    let mut rls = ReplicaService::new();
+    let mut rng = SimRng::new(11);
+    let names: Vec<LogicalFile> = (0..files)
+        .map(|i| LogicalFile::new(format!("lfn-{i:06}.root")))
+        .collect();
+    for f in &names {
+        let replicas = rng.range_u64(1, 4);
+        for _ in 0..replicas {
+            rls.register(f.clone(), SiteId(rng.range_u64(0, sites as u64) as u32));
+        }
+    }
+    (rls, names)
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let (rls, names) = populated(10_000, 15);
+    let batch: Vec<LogicalFile> = names.iter().take(300).cloned().collect();
+    let mut group = c.benchmark_group("rls_lookup");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("clubbed_300", |b| {
+        b.iter_with_setup(
+            || rls.clone(),
+            |mut rls| rls.locate_batch(&batch),
+        );
+    });
+    group.bench_function("individual_300", |b| {
+        b.iter_with_setup(
+            || rls.clone(),
+            |mut rls| {
+                let mut total = 0usize;
+                for f in &batch {
+                    total += rls.locate(f).len();
+                }
+                total
+            },
+        );
+    });
+    group.bench_function("exists_batch_300", |b| {
+        b.iter_with_setup(
+            || rls.clone(),
+            |mut rls| rls.exists_batch(&batch),
+        );
+    });
+    group.finish();
+}
+
+fn bench_register(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rls_register");
+    for &n in &[1_000u64, 10_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let names: Vec<LogicalFile> = (0..n)
+                .map(|i| LogicalFile::new(format!("reg-{i}.dat")))
+                .collect();
+            b.iter(|| {
+                let mut rls = ReplicaService::new();
+                for (i, f) in names.iter().enumerate() {
+                    rls.register(f.clone(), SiteId((i % 15) as u32));
+                }
+                rls.stats().replicas
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_register);
+criterion_main!(benches);

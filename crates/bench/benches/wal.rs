@@ -1,0 +1,107 @@
+//! Write-ahead-log costs: commit overhead per table write, transaction
+//! batching, and recovery replay speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serde::{Deserialize, Serialize};
+use sphinx_db::{Database, MemWal, Record};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Row {
+    id: u64,
+    state: String,
+    attempts: u32,
+}
+
+impl Record for Row {
+    const TABLE: &'static str = "bench_rows";
+    fn key(&self) -> u64 {
+        self.id
+    }
+}
+
+fn row(id: u64) -> Row {
+    Row {
+        id,
+        state: "submitted".to_owned(),
+        attempts: 1,
+    }
+}
+
+fn bench_commits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_commit");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("single_put_x1000", |b| {
+        b.iter(|| {
+            let db = Database::in_memory();
+            for i in 0..1_000 {
+                db.put(&row(i)).unwrap();
+            }
+            db.commit_count()
+        });
+    });
+    group.bench_function("txn_batch_100_x10", |b| {
+        b.iter(|| {
+            let db = Database::in_memory();
+            for batch in 0..10u64 {
+                let mut txn = db.txn();
+                for i in 0..100u64 {
+                    txn.put(&row(batch * 100 + i)).unwrap();
+                }
+                txn.commit().unwrap();
+            }
+            db.commit_count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_recovery");
+    group.sample_size(20);
+    for &n in &[1_000u64, 10_000] {
+        // Prepare a log with n committed writes (half later deleted).
+        let wal = MemWal::shared();
+        {
+            let db = Database::with_wal(Box::new(wal.clone()));
+            for i in 0..n {
+                db.put(&row(i)).unwrap();
+            }
+            for i in 0..n / 2 {
+                db.delete::<Row>(i).unwrap();
+            }
+        }
+        group.throughput(Throughput::Elements(n + n / 2));
+        group.bench_with_input(BenchmarkId::new("replay", n), &wal, |b, wal| {
+            b.iter(|| {
+                let db = Database::recover(Box::new(wal.clone())).unwrap();
+                db.count::<Row>()
+            });
+        });
+        // Recovery after checkpoint compaction.
+        let compacted = MemWal::shared();
+        {
+            let db = Database::with_wal(Box::new(compacted.clone()));
+            for i in 0..n {
+                db.put(&row(i)).unwrap();
+            }
+            for i in 0..n / 2 {
+                db.delete::<Row>(i).unwrap();
+            }
+            db.checkpoint().unwrap();
+        }
+        group.bench_with_input(
+            BenchmarkId::new("replay_checkpointed", n),
+            &compacted,
+            |b, wal| {
+                b.iter(|| {
+                    let db = Database::recover(Box::new(wal.clone())).unwrap();
+                    db.count::<Row>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commits, bench_recovery);
+criterion_main!(benches);

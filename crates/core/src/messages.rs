@@ -1,0 +1,159 @@
+//! Client ↔ server messages.
+//!
+//! "The server maintains database tables for storing incoming and outgoing
+//! messages. \[The\] control process invokes incoming or outgoing message
+//! interfaces to the tables for retrieving, parsing and sending the
+//! messages" (§3.2, *Message Handling Module*). These are the message
+//! bodies; they travel through [`sphinx_db::Queue`]s named
+//! [`INBOX`] (client → server) and [`OUTBOX`] (server → client).
+
+use serde::{Deserialize, Serialize};
+use sphinx_dag::JobId;
+use sphinx_data::SiteId;
+use sphinx_grid::StagedInput;
+use sphinx_sim::{Duration, SimTime};
+
+/// Table name of the client → server queue.
+pub const INBOX: &str = "messages_in";
+/// Table name of the server → client queue.
+pub const OUTBOX: &str = "messages_out";
+
+/// Why the tracker cancelled a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CancelCause {
+    /// The site reported the job held/killed.
+    Held,
+    /// The tracker's deadline elapsed with no completion (black holes,
+    /// dead sites, hopelessly backed-up queues).
+    Timeout,
+}
+
+/// Job status reports from the tracker to the server (§3.3: "important
+/// parameters reported back by the tracker … include job completion time
+/// and job status on remote sites").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StatusReport {
+    /// The site's batch system acknowledged the job.
+    Queued {
+        /// Which job.
+        job: JobId,
+        /// Where.
+        site: SiteId,
+    },
+    /// The job started executing.
+    Running {
+        /// Which job.
+        job: JobId,
+        /// Where.
+        site: SiteId,
+    },
+    /// The job completed.
+    Completed {
+        /// Which job.
+        job: JobId,
+        /// Where.
+        site: SiteId,
+        /// Submission-to-completion wall time (the server's completion-
+        /// time statistic, eq. 3).
+        total: Duration,
+        /// Execution time on the CPU.
+        exec: Duration,
+        /// Batch-queue (idle) time.
+        idle: Duration,
+    },
+    /// The job was cancelled; the server should replan it.
+    Cancelled {
+        /// Which job.
+        job: JobId,
+        /// Where it had been planned.
+        site: SiteId,
+        /// Why.
+        cause: CancelCause,
+    },
+}
+
+impl StatusReport {
+    /// The job this report concerns.
+    pub fn job(&self) -> JobId {
+        match self {
+            StatusReport::Queued { job, .. }
+            | StatusReport::Running { job, .. }
+            | StatusReport::Completed { job, .. }
+            | StatusReport::Cancelled { job, .. } => *job,
+        }
+    }
+
+    /// The site this report concerns.
+    pub fn site(&self) -> SiteId {
+        match self {
+            StatusReport::Queued { site, .. }
+            | StatusReport::Running { site, .. }
+            | StatusReport::Completed { site, .. }
+            | StatusReport::Cancelled { site, .. } => *site,
+        }
+    }
+}
+
+/// A planning decision from the server to the client: submit `job` to
+/// `site`, staging the listed inputs first (§3.2, *Planner*, steps 2–4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanNotice {
+    /// Which job.
+    pub job: JobId,
+    /// The chosen execution site.
+    pub site: SiteId,
+    /// Staging plan for the job's inputs.
+    pub staging: Vec<StagedInput>,
+    /// Nominal compute of the job.
+    pub compute: Duration,
+    /// Output the job will produce.
+    pub output: sphinx_data::FileSpec,
+    /// When the plan was made.
+    pub planned_at: SimTime,
+    /// Persistent-storage site the output must be copied to (planner
+    /// step 4).
+    #[serde(default)]
+    pub archive_to: Option<SiteId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sphinx_dag::DagId;
+    use sphinx_db::{Database, Queue};
+
+    #[test]
+    fn accessors() {
+        let r = StatusReport::Completed {
+            job: JobId::new(DagId(1), 2),
+            site: SiteId(3),
+            total: Duration::from_secs(200),
+            exec: Duration::from_secs(60),
+            idle: Duration::from_secs(100),
+        };
+        assert_eq!(r.job(), JobId::new(DagId(1), 2));
+        assert_eq!(r.site(), SiteId(3));
+    }
+
+    #[test]
+    fn reports_travel_through_db_queues() {
+        let db = Database::in_memory();
+        let inbox: Queue<StatusReport> = Queue::new(&db, INBOX);
+        inbox
+            .push(&StatusReport::Queued {
+                job: JobId::new(DagId(0), 0),
+                site: SiteId(1),
+            })
+            .unwrap();
+        inbox
+            .push(&StatusReport::Cancelled {
+                job: JobId::new(DagId(0), 1),
+                site: SiteId(1),
+                cause: CancelCause::Timeout,
+            })
+            .unwrap();
+        let drained = inbox.drain().unwrap();
+        assert_eq!(drained.len(), 2);
+        assert!(matches!(drained[1], StatusReport::Cancelled { .. }));
+    }
+}

@@ -1,0 +1,104 @@
+//! The prediction module: per-site job completion time estimates.
+//!
+//! The server "provides estimates for the completion time of the requests
+//! on these resources" (§3.2); the completion-time strategy (eq. 3)
+//! selects the available site minimising the normalised average completion
+//! time. Samples come from the job tracker's completion reports.
+
+use sphinx_data::SiteId;
+use sphinx_sim::{Accumulator, Duration};
+use std::collections::BTreeMap;
+
+/// Per-site completion-time statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Prediction {
+    by_site: BTreeMap<SiteId, Accumulator>,
+}
+
+impl Prediction {
+    /// No samples yet.
+    pub fn new() -> Self {
+        Prediction::default()
+    }
+
+    /// Record one observed completion time at a site.
+    pub fn record(&mut self, site: SiteId, completion: Duration) {
+        self.by_site
+            .entry(site)
+            .or_default()
+            .record_duration(completion);
+    }
+
+    /// Average completion time at a site in seconds, if any sample exists.
+    pub fn average(&self, site: SiteId) -> Option<f64> {
+        self.by_site.get(&site).and_then(|a| a.mean())
+    }
+
+    /// Number of samples at a site.
+    pub fn samples(&self, site: SiteId) -> u64 {
+        self.by_site.get(&site).map_or(0, |a| a.count())
+    }
+
+    /// Sum of observed completion times at a site, in seconds (for
+    /// persistence).
+    pub fn sum_secs(&self, site: SiteId) -> f64 {
+        self.by_site
+            .get(&site)
+            .and_then(|a| a.mean().map(|m| m * a.count() as f64))
+            .unwrap_or(0.0)
+    }
+
+    /// Restore state from persisted sums (recovery path).
+    ///
+    /// The state is reconstructed as `samples` observations of the mean:
+    /// the mean — the only statistic eq. 3 uses — is preserved exactly.
+    pub fn restore(&mut self, site: SiteId, sum_secs: f64, samples: u64) {
+        let mut acc = Accumulator::new();
+        if samples > 0 {
+            let mean = sum_secs / samples as f64;
+            for _ in 0..samples {
+                acc.record(mean);
+            }
+        }
+        self.by_site.insert(site, acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_track_observations() {
+        let mut p = Prediction::new();
+        assert_eq!(p.average(SiteId(0)), None);
+        p.record(SiteId(0), Duration::from_secs(100));
+        p.record(SiteId(0), Duration::from_secs(200));
+        p.record(SiteId(1), Duration::from_secs(50));
+        assert_eq!(p.average(SiteId(0)), Some(150.0));
+        assert_eq!(p.average(SiteId(1)), Some(50.0));
+        assert_eq!(p.samples(SiteId(0)), 2);
+        assert_eq!(p.samples(SiteId(2)), 0);
+    }
+
+    #[test]
+    fn sum_and_restore_round_trip() {
+        let mut p = Prediction::new();
+        p.record(SiteId(3), Duration::from_secs(10));
+        p.record(SiteId(3), Duration::from_secs(30));
+        let sum = p.sum_secs(SiteId(3));
+        assert!((sum - 40.0).abs() < 1e-9);
+
+        let mut q = Prediction::new();
+        q.restore(SiteId(3), sum, 2);
+        assert_eq!(q.average(SiteId(3)), p.average(SiteId(3)));
+        assert_eq!(q.samples(SiteId(3)), 2);
+    }
+
+    #[test]
+    fn restore_zero_samples_is_empty() {
+        let mut p = Prediction::new();
+        p.restore(SiteId(0), 0.0, 0);
+        assert_eq!(p.average(SiteId(0)), None);
+    }
+}

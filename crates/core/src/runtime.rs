@@ -1,0 +1,576 @@
+//! The composed system: grid + monitor + server + client.
+//!
+//! [`SphinxRuntime`] is the experiment driver. It steps the grid's event
+//! loop and multiplexes three periodic activities over wakeup events,
+//! mirroring how the real deployment's processes ran concurrently:
+//!
+//! * **Planner cycle** — drain tracker reports from the inbox table,
+//!   advance the server automaton, plan ready jobs, hand plans to the
+//!   client for submission.
+//! * **Monitor cycle** — the monitoring system's query jobs sample the
+//!   sites.
+//! * **Timeout scan** — the tracker cancels overdue submissions.
+//!
+//! All client ↔ server traffic goes through the database message queues
+//! ([`crate::messages::INBOX`] / [`crate::messages::OUTBOX`]), exactly as
+//! §3.2's message-handling module describes — which is also what makes the
+//! mid-run server-crash experiment possible: the queues are part of the
+//! WAL-protected state.
+
+use crate::client::{ClientConfig, SphinxClient};
+use crate::messages::{PlanNotice, StatusReport, INBOX, OUTBOX};
+use crate::report::{RunReport, SiteOutcome};
+use crate::server::{ServerConfig, SphinxServer};
+use crate::state::{DagRow, JobRow, JobState, SiteStatsRow};
+use crate::strategy::{SiteInfo, StrategyKind};
+use sphinx_dag::Dag;
+use sphinx_data::{SiteId, TransferModel};
+use sphinx_db::{Database, Queue};
+use sphinx_grid::{GridSim, Notification};
+use sphinx_monitor::{Monitor, MonitorConfig};
+use sphinx_policy::UserId;
+use sphinx_sim::{Duration, SimTime};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const TOKEN_PLANNER: u64 = 1;
+const TOKEN_MONITOR: u64 = 2;
+const TOKEN_TIMEOUT: u64 = 3;
+
+/// Everything configurable about a run.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// The scheduling algorithm.
+    pub strategy: StrategyKind,
+    /// Use tracker feedback for site reliability.
+    pub feedback: bool,
+    /// Apply eq. 4 policy constraints.
+    pub policy_enabled: bool,
+    /// Persistent-storage site for sink outputs (planner step 4).
+    pub archive_site: Option<SiteId>,
+    /// Tracker timeout per submission.
+    pub timeout: Duration,
+    /// Planner cycle period.
+    pub planner_period: Duration,
+    /// Timeout-scan period.
+    pub timeout_scan_period: Duration,
+    /// Monitoring-system behaviour.
+    pub monitor: MonitorConfig,
+    /// Hard stop: give up (reporting `finished = false`) at this time.
+    pub horizon: Duration,
+    /// Seed for the monitor's randomness (grid has its own seed).
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            strategy: StrategyKind::CompletionTime,
+            feedback: true,
+            policy_enabled: false,
+            archive_site: None,
+            timeout: Duration::from_mins(30),
+            planner_period: Duration::from_secs(15),
+            timeout_scan_period: Duration::from_mins(1),
+            monitor: MonitorConfig::default(),
+            horizon: Duration::from_secs(7 * 24 * 3600),
+            seed: 0,
+        }
+    }
+}
+
+/// The composed SPHINX deployment.
+pub struct SphinxRuntime {
+    grid: GridSim,
+    monitor: Monitor,
+    server: SphinxServer,
+    client: SphinxClient,
+    db: Arc<Database>,
+    config: RuntimeConfig,
+    transfer_model: TransferModel,
+    started: bool,
+}
+
+impl SphinxRuntime {
+    /// Assemble a runtime over a grid, with a fresh in-memory database.
+    pub fn new(grid: GridSim, config: RuntimeConfig) -> Self {
+        Self::with_database(grid, config, Arc::new(Database::in_memory()))
+    }
+
+    /// Assemble a runtime over a grid with an explicit database (use a
+    /// WAL-backed one to run the crash-recovery experiment).
+    pub fn with_database(grid: GridSim, config: RuntimeConfig, db: Arc<Database>) -> Self {
+        let catalog: Vec<SiteInfo> = grid
+            .site_specs()
+            .iter()
+            .map(|s| SiteInfo {
+                id: s.id,
+                name: s.name.clone(),
+                cpus: s.cpus,
+            })
+            .collect();
+        let transfer_model = grid.transfer_model().clone();
+        let server = SphinxServer::new(
+            Arc::clone(&db),
+            catalog,
+            ServerConfig {
+                strategy: config.strategy,
+                feedback: config.feedback,
+                policy_enabled: config.policy_enabled,
+                archive_site: config.archive_site,
+            },
+        );
+        let client = SphinxClient::new(ClientConfig {
+            timeout: config.timeout,
+        });
+        let monitor = Monitor::new(config.monitor.clone(), config.seed);
+        SphinxRuntime {
+            grid,
+            monitor,
+            server,
+            client,
+            db,
+            config,
+            transfer_model,
+            started: false,
+        }
+    }
+
+    /// The underlying grid (e.g. to pre-seed replicas before submitting).
+    pub fn grid_mut(&mut self) -> &mut GridSim {
+        &mut self.grid
+    }
+
+    /// The server (e.g. to configure policy quotas).
+    pub fn server_mut(&mut self) -> &mut SphinxServer {
+        &mut self.server
+    }
+
+    /// Immutable server access.
+    pub fn server(&self) -> &SphinxServer {
+        &self.server
+    }
+
+    /// The tracker.
+    pub fn client(&self) -> &SphinxClient {
+        &self.client
+    }
+
+    /// The configuration this runtime was built with.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Submit a DAG on behalf of a user.
+    pub fn submit_dag(&mut self, dag: &Dag, user: UserId) {
+        self.server.submit_dag(dag, user, self.grid.now());
+    }
+
+    /// Submit a DAG with a QoS deadline relative to now (the §6
+    /// future-work extension): its ready jobs are planned
+    /// earliest-deadline-first ahead of deadline-free work.
+    pub fn submit_dag_with_deadline(&mut self, dag: &Dag, user: UserId, within: Duration) {
+        let now = self.grid.now();
+        self.server
+            .submit_dag_with_deadline(dag, user, now, Some(now + within));
+    }
+
+    fn schedule_initial_wakeups(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let now = self.grid.now();
+        self.grid.schedule_wakeup(now + self.config.planner_period, TOKEN_PLANNER);
+        self.grid.schedule_wakeup(now, TOKEN_MONITOR);
+        self.grid
+            .schedule_wakeup(now + self.config.timeout_scan_period, TOKEN_TIMEOUT);
+    }
+
+    fn planner_tick(&mut self) {
+        let now = self.grid.now();
+        // 1. Message handling: drain tracker reports from the inbox.
+        let inbox: Queue<StatusReport> = Queue::new(&self.db, INBOX);
+        for report in inbox.drain().expect("inbox readable") {
+            self.server.handle_report(report, now);
+        }
+        // 2. Planning: advance the automaton, write plans to the outbox.
+        let reports: BTreeMap<SiteId, sphinx_monitor::Report> = self
+            .monitor
+            .reports(now)
+            .into_iter()
+            .map(|r| (r.site, r))
+            .collect();
+        let plans = self
+            .server
+            .plan_cycle(now, self.grid.rls_mut(), &reports, &self.transfer_model);
+        let outbox: Queue<PlanNotice> = Queue::new(&self.db, OUTBOX);
+        for plan in &plans {
+            outbox.push(plan).expect("outbox writable");
+        }
+        // 3. The client consumes the outbox and submits.
+        for plan in outbox.drain().expect("outbox readable") {
+            self.client.submit_plan(&mut self.grid, &plan, now);
+        }
+        self.grid
+            .schedule_wakeup(now + self.config.planner_period, TOKEN_PLANNER);
+    }
+
+    fn monitor_tick(&mut self) {
+        let now = self.grid.now();
+        let truth = self.grid.snapshots();
+        self.monitor.sample(now, &truth);
+        self.grid
+            .schedule_wakeup(now + self.config.monitor.update_period, TOKEN_MONITOR);
+    }
+
+    fn timeout_tick(&mut self) {
+        let now = self.grid.now();
+        let reports = self.client.scan_timeouts(&mut self.grid, now);
+        let inbox: Queue<StatusReport> = Queue::new(&self.db, INBOX);
+        for report in reports {
+            inbox.push(&report).expect("inbox writable");
+        }
+        self.grid
+            .schedule_wakeup(now + self.config.timeout_scan_period, TOKEN_TIMEOUT);
+    }
+
+    /// Assemble a runtime whose server is **recovered** from an existing
+    /// database (the mid-run crash experiment). The grid — with whatever
+    /// jobs are still in flight — survives; the server conservatively
+    /// replans everything that was in flight, and the fresh client simply
+    /// ignores notifications for attempts it never made.
+    ///
+    /// The surviving grid's pending wakeup chains keep driving the
+    /// periodic cycles, so none are rescheduled here.
+    pub fn with_recovered_database(
+        grid: GridSim,
+        config: RuntimeConfig,
+        db: Arc<Database>,
+    ) -> Self {
+        let mut rt = Self::with_database(grid, config, db);
+        let catalog: Vec<SiteInfo> = rt
+            .grid
+            .site_specs()
+            .iter()
+            .map(|s| SiteInfo {
+                id: s.id,
+                name: s.name.clone(),
+                cpus: s.cpus,
+            })
+            .collect();
+        rt.server = SphinxServer::recover(
+            Arc::clone(&rt.db),
+            catalog,
+            ServerConfig {
+                strategy: rt.config.strategy,
+                feedback: rt.config.feedback,
+                policy_enabled: rt.config.policy_enabled,
+                archive_site: rt.config.archive_site,
+            },
+        );
+        rt.started = true; // reuse the surviving wakeup chains
+        rt
+    }
+
+    /// Run until every DAG finishes, the horizon is hit, or `stop_at`
+    /// passes on the simulation clock. Returns whether everything
+    /// finished.
+    pub fn run_until(&mut self, stop_at: SimTime) -> bool {
+        self.schedule_initial_wakeups();
+        let horizon = SimTime::ZERO + self.config.horizon;
+        let stop = stop_at.min(horizon);
+        while !self.server.all_finished() && self.grid.now() < stop {
+            if !self.grid.step() {
+                break;
+            }
+            let now = self.grid.now();
+            let notifications = self.grid.poll();
+            let db = Arc::clone(&self.db);
+            let inbox: Queue<StatusReport> = Queue::new(&db, INBOX);
+            for n in notifications {
+                match n {
+                    Notification::Wakeup { token: TOKEN_PLANNER } => self.planner_tick(),
+                    Notification::Wakeup { token: TOKEN_MONITOR } => self.monitor_tick(),
+                    Notification::Wakeup { token: TOKEN_TIMEOUT } => self.timeout_tick(),
+                    Notification::Wakeup { .. } => {}
+                    other => {
+                        if let Some(report) = self.client.on_notification(&other, now) {
+                            inbox.push(&report).expect("inbox writable");
+                        }
+                    }
+                }
+            }
+        }
+        self.server.all_finished()
+    }
+
+    /// Tear the runtime down to its surviving grid ("the server process
+    /// died; the grid did not notice").
+    pub fn into_grid(self) -> GridSim {
+        self.grid
+    }
+
+    /// Run until every DAG finishes or the horizon is hit, then build the
+    /// report.
+    pub fn run(&mut self) -> RunReport {
+        self.schedule_initial_wakeups();
+        let horizon = SimTime::ZERO + self.config.horizon;
+        while !self.server.all_finished() && self.grid.now() < horizon {
+            if !self.grid.step() {
+                break; // grid drained (no recurring processes configured)
+            }
+            let now = self.grid.now();
+            let notifications = self.grid.poll();
+            let db = Arc::clone(&self.db);
+            let inbox: Queue<StatusReport> = Queue::new(&db, INBOX);
+            for n in notifications {
+                match n {
+                    Notification::Wakeup { token: TOKEN_PLANNER } => self.planner_tick(),
+                    Notification::Wakeup { token: TOKEN_MONITOR } => self.monitor_tick(),
+                    Notification::Wakeup { token: TOKEN_TIMEOUT } => self.timeout_tick(),
+                    Notification::Wakeup { .. } => {}
+                    other => {
+                        if let Some(report) = self.client.on_notification(&other, now) {
+                            inbox.push(&report).expect("inbox writable");
+                        }
+                    }
+                }
+            }
+        }
+        self.build_report()
+    }
+
+    /// Assemble the [`RunReport`] from the database and module state.
+    pub fn build_report(&self) -> RunReport {
+        let dags = self.db.scan::<DagRow>();
+        let mut dag_completion_secs = Vec::new();
+        let mut deadlines_met = 0usize;
+        let mut deadlines_missed = 0usize;
+        for d in &dags {
+            if let Some(fin) = d.finished_at {
+                dag_completion_secs.push(fin.since(d.submitted_at).as_secs_f64());
+            }
+            if let Some(deadline) = d.deadline {
+                match d.finished_at {
+                    Some(fin) if fin <= deadline => deadlines_met += 1,
+                    _ => deadlines_missed += 1,
+                }
+            }
+        }
+        let avg_dag = if dag_completion_secs.is_empty() {
+            0.0
+        } else {
+            dag_completion_secs.iter().sum::<f64>() / dag_completion_secs.len() as f64
+        };
+        let jobs = self.db.scan::<JobRow>();
+        let mut exec_sum = 0.0;
+        let mut idle_sum = 0.0;
+        let mut completed = 0usize;
+        let mut eliminated = 0usize;
+        for j in &jobs {
+            match j.state {
+                JobState::Finished => {
+                    completed += 1;
+                    exec_sum += j.exec_secs.unwrap_or(0.0);
+                    idle_sum += j.idle_secs.unwrap_or(0.0);
+                }
+                JobState::Eliminated => eliminated += 1,
+                _ => {}
+            }
+        }
+        let catalog: BTreeMap<SiteId, String> = self
+            .grid
+            .site_specs()
+            .iter()
+            .map(|s| (s.id, s.name.clone()))
+            .collect();
+        let sites = self
+            .db
+            .scan::<SiteStatsRow>()
+            .into_iter()
+            .map(|row| SiteOutcome {
+                site: SiteId(row.site),
+                name: catalog
+                    .get(&SiteId(row.site))
+                    .cloned()
+                    .unwrap_or_else(|| format!("site{}", row.site)),
+                completed: row.completed,
+                cancelled: row.cancelled,
+                avg_completion_secs: (row.completion_samples > 0)
+                    .then(|| row.completion_secs_sum / row.completion_samples as f64),
+            })
+            .collect();
+        let stats = self.server.stats();
+        RunReport {
+            strategy: self.config.strategy.label().to_owned(),
+            feedback: self.config.feedback || self.config.strategy.implies_feedback(),
+            policy: self.config.policy_enabled,
+            seed: self.config.seed,
+            finished: self.server.all_finished(),
+            makespan_secs: self.grid.now().as_secs_f64(),
+            dags: dags.len(),
+            avg_dag_completion_secs: avg_dag,
+            dag_completion_secs,
+            jobs_completed: completed,
+            jobs_eliminated: eliminated,
+            avg_exec_secs: if completed > 0 {
+                exec_sum / completed as f64
+            } else {
+                0.0
+            },
+            avg_idle_secs: if completed > 0 {
+                idle_sum / completed as f64
+            } else {
+                0.0
+            },
+            plans: stats.plans,
+            timeouts: stats.reschedules_timeout,
+            holds: stats.reschedules_held,
+            deadlines_met,
+            deadlines_missed,
+            sites,
+        }
+    }
+}
+
+impl std::fmt::Debug for SphinxRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SphinxRuntime")
+            .field("strategy", &self.config.strategy)
+            .field("now", &self.grid.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sphinx_dag::WorkloadSpec;
+    use sphinx_grid::{FaultProfile, SiteSpec};
+    use sphinx_sim::SimRng;
+
+    fn healthy_grid(sites: u32, cpus: u32, seed: u64) -> GridSim {
+        let specs = (0..sites)
+            .map(|i| SiteSpec::new(SiteId(i), format!("site{i}"), cpus))
+            .collect();
+        GridSim::new(specs, TransferModel::default(), seed)
+    }
+
+    fn seed_externals(grid: &mut GridSim, dags: &[Dag]) {
+        for dag in dags {
+            for file in dag.external_inputs() {
+                grid.rls_mut().register(file, SiteId(0));
+            }
+        }
+    }
+
+    fn quick_config(strategy: StrategyKind) -> RuntimeConfig {
+        RuntimeConfig {
+            strategy,
+            horizon: Duration::from_secs(48 * 3600),
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn small_workload_completes_end_to_end() {
+        let mut grid = healthy_grid(3, 8, 42);
+        let dags = WorkloadSpec::small(2, 10).generate(&SimRng::new(42), 0);
+        seed_externals(&mut grid, &dags);
+        let mut rt = SphinxRuntime::new(grid, quick_config(StrategyKind::CompletionTime));
+        for dag in &dags {
+            rt.submit_dag(dag, UserId(1));
+        }
+        let report = rt.run();
+        assert!(report.finished, "{}", report.summary());
+        assert_eq!(report.jobs_completed, 20);
+        assert_eq!(report.dags, 2);
+        assert!(report.avg_dag_completion_secs > 0.0);
+        assert!(report.avg_exec_secs > 30.0, "{}", report.avg_exec_secs);
+        assert_eq!(report.timeouts, 0);
+    }
+
+    #[test]
+    fn all_strategies_complete_on_a_healthy_grid() {
+        for strategy in StrategyKind::ALL {
+            let mut grid = healthy_grid(3, 8, 7);
+            let dags = WorkloadSpec::small(1, 12).generate(&SimRng::new(7), 0);
+            seed_externals(&mut grid, &dags);
+            let mut rt = SphinxRuntime::new(grid, quick_config(strategy));
+            rt.submit_dag(&dags[0], UserId(1));
+            let report = rt.run();
+            assert!(report.finished, "{strategy}: {}", report.summary());
+            assert_eq!(report.jobs_completed, 12, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn black_hole_site_is_survived_via_timeouts() {
+        let specs = vec![
+            SiteSpec::new(SiteId(0), "good", 8),
+            SiteSpec::new(SiteId(1), "hole", 8).with_faults(FaultProfile::black_hole()),
+        ];
+        let mut grid = GridSim::new(specs, TransferModel::default(), 3);
+        let dags = WorkloadSpec::small(1, 10).generate(&SimRng::new(3), 0);
+        seed_externals(&mut grid, &dags);
+        let config = RuntimeConfig {
+            strategy: StrategyKind::RoundRobin,
+            feedback: true,
+            timeout: Duration::from_mins(10),
+            horizon: Duration::from_secs(48 * 3600),
+            ..RuntimeConfig::default()
+        };
+        let mut rt = SphinxRuntime::new(grid, config);
+        rt.submit_dag(&dags[0], UserId(1));
+        let report = rt.run();
+        assert!(report.finished, "{}", report.summary());
+        assert_eq!(report.jobs_completed, 10);
+        assert!(report.timeouts >= 1, "black hole must cost timeouts");
+        // Feedback eventually shuns the hole: the good site does the work.
+        let good = report.sites.iter().find(|s| s.name == "good").unwrap();
+        assert_eq!(good.completed, 10);
+    }
+
+    #[test]
+    fn determinism_same_seeds_same_report() {
+        let run = || {
+            let mut grid = healthy_grid(2, 4, 11);
+            let dags = WorkloadSpec::small(1, 8).generate(&SimRng::new(11), 0);
+            seed_externals(&mut grid, &dags);
+            let mut rt = SphinxRuntime::new(grid, quick_config(StrategyKind::QueueLength));
+            rt.submit_dag(&dags[0], UserId(1));
+            rt.run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn policy_mode_completes_with_ample_quota() {
+        let mut grid = healthy_grid(3, 8, 5);
+        let dags = WorkloadSpec::small(1, 10).generate(&SimRng::new(5), 0);
+        seed_externals(&mut grid, &dags);
+        let config = RuntimeConfig {
+            strategy: StrategyKind::NumCpus,
+            policy_enabled: true,
+            horizon: Duration::from_secs(48 * 3600),
+            ..RuntimeConfig::default()
+        };
+        let mut rt = SphinxRuntime::new(grid, config);
+        let policy = rt.server_mut().policy_mut();
+        policy.add_user(UserId(1), sphinx_policy::VoId(0), 1);
+        for i in 0..3 {
+            policy.grant(
+                UserId(1),
+                SiteId(i),
+                sphinx_policy::Requirement::new(1_000_000, 1_000_000),
+            );
+        }
+        rt.submit_dag(&dags[0], UserId(1));
+        let report = rt.run();
+        assert!(report.finished, "{}", report.summary());
+        assert!(report.policy);
+    }
+}

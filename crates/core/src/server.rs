@@ -1,0 +1,1052 @@
+//! The SPHINX server.
+//!
+//! "The server has a control process, which completes the scheduling by
+//! managing several SPHINX inner service modules such as resource
+//! monitoring interface, replica management interface, prediction, message
+//! handling, DAG reducing and planning. Each module performs its
+//! corresponding function on a DAG and/or a job, and changes the state to
+//! the next according to the predefined order of states" (§3.2).
+//!
+//! All entity state lives in [`sphinx_db`] tables ([`DagRow`], [`JobRow`],
+//! [`SiteStatsRow`]), so the server can be killed at any point and
+//! [`SphinxServer::recover`]ed from its write-ahead log: in-flight
+//! submissions are conservatively reset to `Ready` and replanned, which is
+//! the fault-tolerance property the paper's §3.1 claims.
+
+use crate::messages::{CancelCause, PlanNotice, StatusReport};
+use crate::prediction::Prediction;
+use crate::reliability::Reliability;
+use crate::state::{DagRow, DagState, JobRow, JobState, SiteStatsRow};
+use crate::strategy::{PlanningView, SiteInfo, StrategyKind, StrategyState};
+use sphinx_dag::{reduce, Dag, DagId, Frontier, JobId};
+use sphinx_data::{LogicalFile, ReplicaService, SiteId, TransferModel};
+use sphinx_db::Database;
+use sphinx_grid::StagedInput;
+use sphinx_monitor::Report;
+use sphinx_policy::{PolicyEngine, Requirement, UserId};
+use sphinx_sim::SimTime;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Which §4.1 algorithm plans jobs.
+    pub strategy: StrategyKind,
+    /// Use tracker feedback to exclude unreliable sites. Queue-length and
+    /// completion-time imply feedback regardless (the paper evaluates them
+    /// only with it).
+    pub feedback: bool,
+    /// Apply eq. 4 policy constraints before the strategy runs.
+    pub policy_enabled: bool,
+    /// Persistent-storage site for final (sink) outputs — the planner's
+    /// step 4 ("decide whether the output files must be copied to
+    /// persistent storage"). `None` disables archival.
+    pub archive_site: Option<SiteId>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            strategy: StrategyKind::CompletionTime,
+            feedback: true,
+            policy_enabled: false,
+            archive_site: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn effective_feedback(&self) -> bool {
+        self.feedback || self.strategy.implies_feedback()
+    }
+}
+
+/// Planning/rescheduling counters (Figure 8's data).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Plans handed to the client.
+    pub plans: u64,
+    /// Reschedules caused by held/killed reports.
+    pub reschedules_held: u64,
+    /// Reschedules caused by tracker timeouts.
+    pub reschedules_timeout: u64,
+}
+
+impl ServerStats {
+    /// Total reschedules of either cause.
+    pub fn reschedules_total(&self) -> u64 {
+        self.reschedules_held + self.reschedules_timeout
+    }
+}
+
+/// The SPHINX server.
+pub struct SphinxServer {
+    db: Arc<Database>,
+    config: ServerConfig,
+    catalog: Vec<SiteInfo>,
+    policy: PolicyEngine,
+    prediction: Prediction,
+    reliability: Reliability,
+    /// Jobs planned to each site and not yet finished (eq. 1/2 input).
+    outstanding: BTreeMap<SiteId, u64>,
+    frontiers: BTreeMap<DagId, Frontier>,
+    strategy_state: StrategyState,
+    stats: ServerStats,
+    dags_total: u64,
+    dags_finished: u64,
+}
+
+impl SphinxServer {
+    /// A fresh server over an (empty) database.
+    pub fn new(db: Arc<Database>, catalog: Vec<SiteInfo>, config: ServerConfig) -> Self {
+        // The control process finds entities by state; index both tables
+        // the way the original's SQL schema would have.
+        db.create_index::<DagRow>("/state");
+        db.create_index::<JobRow>("/state");
+        SphinxServer {
+            db,
+            config,
+            catalog,
+            policy: PolicyEngine::new(),
+            prediction: Prediction::new(),
+            reliability: Reliability::new(),
+            outstanding: BTreeMap::new(),
+            frontiers: BTreeMap::new(),
+            strategy_state: StrategyState::new(),
+            stats: ServerStats::default(),
+            dags_total: 0,
+            dags_finished: 0,
+        }
+    }
+
+    /// Rebuild a server from a recovered database (crash recovery).
+    ///
+    /// In-flight attempts (`Submitted`/`Queued`/`Running`) are reset to
+    /// `Ready`: the client-side tracker state died with the server, so the
+    /// safe move is to cancel-and-replan, exactly what the paper's tracker
+    /// does for held jobs.
+    pub fn recover(db: Arc<Database>, catalog: Vec<SiteInfo>, config: ServerConfig) -> Self {
+        let mut server = SphinxServer::new(db, catalog, config);
+        // Restore tracker-derived statistics.
+        for row in server.db.scan::<SiteStatsRow>() {
+            let site = SiteId(row.site);
+            server.reliability.restore(site, row.completed, row.cancelled);
+            server
+                .prediction
+                .restore(site, row.completion_secs_sum, row.completion_samples);
+        }
+        // Reset in-flight jobs and rebuild frontiers.
+        for dag_row in server.db.scan::<DagRow>() {
+            server.dags_total += 1;
+            if dag_row.state == DagState::Finished {
+                server.dags_finished += 1;
+                continue;
+            }
+            let mut completed = Vec::new();
+            for job in server.db.scan_filter::<JobRow>(|j| j.id.dag == dag_row.id) {
+                match job.state {
+                    s if s.is_terminal() => completed.push(job.id.index),
+                    s if s.is_outstanding() => {
+                        server
+                            .db
+                            .update::<JobRow>(job.id.as_key(), |j| j.reset_for_replan())
+                            .expect("job row exists");
+                    }
+                    _ => {}
+                }
+            }
+            if dag_row.state == DagState::Running {
+                server
+                    .frontiers
+                    .insert(dag_row.id, Frontier::with_completed(&dag_row.dag, &completed));
+            }
+            // `Received` DAGs will be reduced by the next plan cycle.
+        }
+        server
+    }
+
+    /// The policy engine (to register VOs, users and quotas).
+    pub fn policy_mut(&mut self) -> &mut PolicyEngine {
+        &mut self.policy
+    }
+
+    /// Immutable policy access.
+    pub fn policy(&self) -> &PolicyEngine {
+        &self.policy
+    }
+
+    /// Planning statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Reliability index (for reporting).
+    pub fn reliability(&self) -> &Reliability {
+        &self.reliability
+    }
+
+    /// Completion-time statistics (for reporting).
+    pub fn prediction(&self) -> &Prediction {
+        &self.prediction
+    }
+
+    /// The shared database handle.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Accept a DAG scheduling request from a client.
+    pub fn submit_dag(&mut self, dag: &Dag, user: UserId, now: SimTime) {
+        self.submit_dag_with_deadline(dag, user, now, None);
+    }
+
+    /// Accept a DAG with a QoS deadline: ready jobs of tighter-deadline
+    /// DAGs are planned first (earliest-deadline-first), the paper's §6
+    /// future-work item.
+    pub fn submit_dag_with_deadline(
+        &mut self,
+        dag: &Dag,
+        user: UserId,
+        now: SimTime,
+        deadline: Option<SimTime>,
+    ) {
+        dag.validate().expect("client submits valid DAGs");
+        let mut txn = self.db.txn();
+        txn.put(&DagRow {
+            id: dag.id,
+            dag: dag.clone(),
+            user,
+            state: DagState::Received,
+            submitted_at: now,
+            finished_at: None,
+            deadline,
+        })
+        .expect("dag row serializes");
+        for job in &dag.jobs {
+            txn.put(&JobRow::new(job.id)).expect("job row serializes");
+        }
+        txn.commit().expect("dag submission commits");
+        self.dags_total += 1;
+    }
+
+    /// True when every submitted DAG reached `Finished`.
+    pub fn all_finished(&self) -> bool {
+        self.dags_total > 0 && self.dags_finished == self.dags_total
+    }
+
+    /// Completion check for one DAG.
+    fn maybe_finish_dag(&mut self, dag_id: DagId, now: SimTime) {
+        let finished = self
+            .frontiers
+            .get(&dag_id)
+            .is_some_and(|f| f.is_finished());
+        if finished {
+            self.db
+                .update::<DagRow>(dag_id.0, |d| {
+                    d.state = DagState::Finished;
+                    d.finished_at = Some(now);
+                })
+                .expect("dag row exists");
+            self.frontiers.remove(&dag_id);
+            self.dags_finished += 1;
+        }
+    }
+
+    fn bump_site_stats(&self, site: SiteId, f: impl FnOnce(&mut SiteStatsRow)) {
+        let key = site.0 as u64;
+        if !self.db.contains::<SiteStatsRow>(key) {
+            self.db
+                .put(&SiteStatsRow {
+                    site: site.0,
+                    ..SiteStatsRow::default()
+                })
+                .expect("site stats row serializes");
+        }
+        self.db
+            .update::<SiteStatsRow>(key, f)
+            .expect("site stats row exists");
+    }
+
+    fn dec_outstanding(&mut self, site: SiteId) {
+        if let Some(n) = self.outstanding.get_mut(&site) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// Process one tracker report (the message-handling module's work).
+    pub fn handle_report(&mut self, report: StatusReport, now: SimTime) {
+        let job = report.job();
+        let key = job.as_key();
+        match report {
+            StatusReport::Queued { .. } => {
+                self.db
+                    .update::<JobRow>(key, |j| {
+                        if j.state == JobState::Submitted {
+                            j.state = JobState::Queued;
+                        }
+                    })
+                    .expect("job row exists");
+            }
+            StatusReport::Running { .. } => {
+                self.db
+                    .update::<JobRow>(key, |j| {
+                        if matches!(j.state, JobState::Submitted | JobState::Queued) {
+                            j.state = JobState::Running;
+                        }
+                    })
+                    .expect("job row exists");
+            }
+            StatusReport::Completed {
+                site,
+                total,
+                exec,
+                idle,
+                ..
+            } => {
+                let Some(row) = self.db.get::<JobRow>(key) else {
+                    return;
+                };
+                if row.state.is_terminal() {
+                    return; // duplicate report
+                }
+                self.db
+                    .update::<JobRow>(key, |j| {
+                        j.state = JobState::Finished;
+                        j.exec_secs = Some(exec.as_secs_f64());
+                        j.idle_secs = Some(idle.as_secs_f64());
+                    })
+                    .expect("job row exists");
+                if let Some(res) = row.reservation {
+                    let actual = Requirement::new(exec.as_secs_f64() as u64, 0);
+                    let _ = self.policy.commit(res, actual);
+                }
+                self.prediction.record(site, total);
+                self.reliability.record_completed(site);
+                self.bump_site_stats(site, |s| {
+                    s.completed += 1;
+                    s.completion_secs_sum += total.as_secs_f64();
+                    s.completion_samples += 1;
+                });
+                self.dec_outstanding(site);
+                if let Some(frontier) = self.frontiers.get_mut(&job.dag) {
+                    frontier.complete(job.index);
+                    // Children whose last parent completed become Ready.
+                    let ready = frontier.ready();
+                    for idx in ready {
+                        let child = JobId::new(job.dag, idx);
+                        self.db
+                            .update::<JobRow>(child.as_key(), |j| {
+                                if j.state == JobState::Unready {
+                                    j.state = JobState::Ready;
+                                }
+                            })
+                            .expect("child row exists");
+                    }
+                }
+                self.maybe_finish_dag(job.dag, now);
+            }
+            StatusReport::Cancelled { site, cause, .. } => {
+                let Some(row) = self.db.get::<JobRow>(key) else {
+                    return;
+                };
+                if row.state.is_terminal() || row.state == JobState::Ready {
+                    return; // raced with completion or already replanned
+                }
+                if let Some(res) = row.reservation {
+                    let _ = self.policy.release(res);
+                }
+                self.db
+                    .update::<JobRow>(key, |j| j.reset_for_replan())
+                    .expect("job row exists");
+                self.reliability.record_cancelled(site, now);
+                self.bump_site_stats(site, |s| s.cancelled += 1);
+                self.dec_outstanding(site);
+                match cause {
+                    CancelCause::Held => self.stats.reschedules_held += 1,
+                    CancelCause::Timeout => self.stats.reschedules_timeout += 1,
+                }
+                if let Some(frontier) = self.frontiers.get_mut(&job.dag) {
+                    frontier.put_back(job.index);
+                }
+            }
+        }
+    }
+
+    /// Reduce newly received DAGs against the replica catalog (the DAG
+    /// reducer module).
+    fn reduce_received(&mut self, rls: &mut ReplicaService, now: SimTime) {
+        let received = self
+            .db
+            .scan_where::<DagRow>("/state", &serde_json::json!("Received"));
+        for dag_row in received {
+            let outputs: Vec<LogicalFile> = dag_row
+                .dag
+                .jobs
+                .iter()
+                .map(|j| j.output.file.clone())
+                .collect();
+            // One clubbed RLS call for the whole DAG (§3.4).
+            let existing = rls.exists_batch(&outputs);
+            let reduction = reduce(&dag_row.dag, |f| {
+                let idx = outputs.iter().position(|o| o == f).expect("output of dag");
+                existing[idx]
+            });
+            let mut txn = self.db.txn();
+            for &idx in &reduction.eliminated {
+                let mut row = JobRow::new(JobId::new(dag_row.id, idx));
+                row.state = JobState::Eliminated;
+                txn.put(&row).expect("row serializes");
+            }
+            let frontier = Frontier::with_completed(&dag_row.dag, &reduction.eliminated);
+            // Mark the initially ready jobs.
+            for idx in frontier.ready() {
+                let mut row = JobRow::new(JobId::new(dag_row.id, idx));
+                row.state = JobState::Ready;
+                txn.put(&row).expect("row serializes");
+            }
+            let mut updated = dag_row.clone();
+            updated.state = DagState::Running;
+            txn.put(&updated).expect("row serializes");
+            txn.commit().expect("reduction commits");
+            self.frontiers.insert(dag_row.id, frontier);
+            self.maybe_finish_dag(dag_row.id, now);
+        }
+    }
+
+    /// The resource requirement of one job (eq. 4's `required`).
+    fn requirement_of(job: &sphinx_dag::JobSpec) -> Requirement {
+        Requirement::new(
+            job.compute.as_secs_f64().ceil() as u64,
+            job.output.size_mb,
+        )
+    }
+
+    /// Choose transfer sources for a job's inputs ("choose the optimal
+    /// transfer source": the replica whose site has the fattest access
+    /// link; ties to the lowest id for determinism).
+    fn plan_staging(
+        dag: &Dag,
+        job: &sphinx_dag::JobSpec,
+        exec_site: SiteId,
+        rls: &mut ReplicaService,
+        transfers: &TransferModel,
+    ) -> Option<Vec<StagedInput>> {
+        let producers = dag.producers();
+        // One clubbed locate call for all inputs (§3.4).
+        let located = rls.locate_batch(&job.inputs);
+        let mut staging = Vec::with_capacity(located.len());
+        for (file, sites) in located {
+            if sites.contains(&exec_site) {
+                staging.push(StagedInput {
+                    file,
+                    size_mb: 0,
+                    source: None,
+                });
+                continue;
+            }
+            // Size: sibling outputs carry their spec'd size; external
+            // datasets use a nominal analysis-input size.
+            let size_mb = producers
+                .get(&file)
+                .map(|&p| dag.jobs[p as usize].output.size_mb)
+                .unwrap_or(100);
+            let best = sites.iter().copied().max_by(|a, b| {
+                transfers
+                    .bandwidth(*a)
+                    .partial_cmp(&transfers.bandwidth(*b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(a)) // ties: prefer lower id
+            })?;
+            staging.push(StagedInput {
+                file,
+                size_mb,
+                source: Some(best),
+            });
+        }
+        Some(staging)
+    }
+
+    /// One planner pass: reduce received DAGs, then plan every ready job.
+    /// Returns the plans for the client to submit.
+    pub fn plan_cycle(
+        &mut self,
+        now: SimTime,
+        rls: &mut ReplicaService,
+        reports: &BTreeMap<SiteId, Report>,
+        transfers: &TransferModel,
+    ) -> Vec<PlanNotice> {
+        self.reduce_received(rls, now);
+        // The frontiers' ready sets mirror the `Ready` rows exactly and
+        // avoid deserializing the whole job table every cycle.
+        let mut ready: Vec<JobId> = self
+            .frontiers
+            .iter()
+            .flat_map(|(&dag, f)| f.ready().into_iter().map(move |i| JobId::new(dag, i)))
+            .collect();
+        // Planning order (QoS + §5 "policy and priorities of these jobs"):
+        // earliest deadline first, then higher user priority, then stable
+        // (dag, index) order. Skipped entirely when neither deadlines nor
+        // differentiated priorities are in play.
+        let rank_of: BTreeMap<DagId, (Option<SimTime>, u32)> = self
+            .frontiers
+            .keys()
+            .map(|&d| {
+                let row = self.db.get::<DagRow>(d.0);
+                let deadline = row.as_ref().and_then(|r| r.deadline);
+                let priority = row
+                    .as_ref()
+                    .and_then(|r| self.policy.priority_of(r.user))
+                    .unwrap_or(0);
+                (d, (deadline, priority))
+            })
+            .collect();
+        let any_deadline = rank_of.values().any(|(d, _)| d.is_some());
+        let distinct_priorities = rank_of
+            .values()
+            .map(|(_, p)| *p)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+            > 1;
+        if any_deadline || distinct_priorities {
+            ready.sort_by_key(|j| {
+                let (deadline, priority) = rank_of
+                    .get(&j.dag)
+                    .copied()
+                    .unwrap_or((None, 0));
+                (
+                    deadline.unwrap_or(SimTime::MAX),
+                    std::cmp::Reverse(priority),
+                    j.dag,
+                    j.index,
+                )
+            });
+        }
+        let mut plans = Vec::new();
+        let all_sites: Vec<SiteId> = self.catalog.iter().map(|s| s.id).collect();
+        // QoS fast lane: while deadline work is pending, reserve the
+        // fastest-predicted site for it by steering deadline-free jobs
+        // elsewhere (soft reservation — it is released the moment no
+        // deadline DAG has ready work).
+        let deadline_pending = ready
+            .iter()
+            .any(|j| rank_of.get(&j.dag).is_some_and(|(d, _)| d.is_some()));
+        let fast_lane: Option<SiteId> = if deadline_pending {
+            all_sites
+                .iter()
+                .copied()
+                .filter(|&s| self.prediction.samples(s) > 0)
+                .min_by(|&a, &b| {
+                    self.prediction
+                        .average(a)
+                        .unwrap_or(f64::INFINITY)
+                        .total_cmp(&self.prediction.average(b).unwrap_or(f64::INFINITY))
+                })
+        } else {
+            None
+        };
+        for job_id in ready {
+            let Some(dag_row) = self.db.get::<DagRow>(job_id.dag.0) else {
+                continue;
+            };
+            let spec = dag_row
+                .dag
+                .job(job_id.index)
+                .expect("job index valid")
+                .clone();
+            let requirement = Self::requirement_of(&spec);
+            // Policy filter (eq. 4) …
+            let mut candidates: Vec<SiteId> = if self.config.policy_enabled {
+                self.policy
+                    .feasible_sites(dag_row.user, requirement, &all_sites)
+            } else {
+                all_sites.clone()
+            };
+            // … then the feedback filter.
+            if self.config.effective_feedback() {
+                candidates = self.reliability.reliable_subset(&candidates, now);
+            }
+            // … then the QoS fast-lane reservation.
+            if let Some(fast) = fast_lane {
+                let urgent = rank_of
+                    .get(&job_id.dag)
+                    .is_some_and(|(d, _)| d.is_some());
+                if !urgent && candidates.len() > 1 {
+                    candidates.retain(|&s| s != fast);
+                }
+            }
+            let view = PlanningView {
+                catalog: &self.catalog,
+                candidates: &candidates,
+                outstanding: &self.outstanding,
+                reports,
+                prediction: &self.prediction,
+            };
+            let Some(site) = self.config.strategy.choose(&view, &mut self.strategy_state)
+            else {
+                continue; // no feasible site now; stays Ready
+            };
+            let Some(staging) = Self::plan_staging(&dag_row.dag, &spec, site, rls, transfers)
+            else {
+                continue; // an input has no replica yet; stays Ready
+            };
+            // Reserve quota for the attempt.
+            let reservation = if self.config.policy_enabled {
+                match self.policy.reserve(dag_row.user, site, requirement) {
+                    Ok(r) => Some(r),
+                    Err(_) => continue, // quota raced away; stays Ready
+                }
+            } else {
+                None
+            };
+            self.db
+                .update::<JobRow>(job_id.as_key(), |j| {
+                    j.state = JobState::Submitted;
+                    j.site = Some(site);
+                    j.reservation = reservation;
+                    j.attempts += 1;
+                    j.submitted_at = Some(now);
+                })
+                .expect("job row exists");
+            if let Some(frontier) = self.frontiers.get_mut(&job_id.dag) {
+                frontier.take(job_id.index);
+            }
+            *self.outstanding.entry(site).or_default() += 1;
+            self.stats.plans += 1;
+            // Step 4: final outputs (nothing downstream consumes them) go
+            // to persistent storage; intermediates stay where they land.
+            let is_sink = dag_row.dag.children()[job_id.index as usize].is_empty();
+            let archive_to = self
+                .config
+                .archive_site
+                .filter(|_| is_sink);
+            plans.push(PlanNotice {
+                job: job_id,
+                site,
+                staging,
+                compute: spec.compute,
+                output: spec.output.clone(),
+                planned_at: now,
+                archive_to,
+            });
+        }
+        plans
+    }
+}
+
+impl std::fmt::Debug for SphinxServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SphinxServer")
+            .field("strategy", &self.config.strategy)
+            .field("dags", &self.db.count::<DagRow>())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sphinx_dag::WorkloadSpec;
+    use sphinx_sim::{Duration, SimRng};
+
+    fn catalog(n: u32, cpus: u32) -> Vec<SiteInfo> {
+        (0..n)
+            .map(|i| SiteInfo {
+                id: SiteId(i),
+                name: format!("site{i}"),
+                cpus,
+            })
+            .collect()
+    }
+
+    fn seeded_rls(dag: &Dag) -> ReplicaService {
+        let mut rls = ReplicaService::new();
+        for file in dag.external_inputs() {
+            rls.register(file, SiteId(0));
+        }
+        rls
+    }
+
+    fn small_dag(seed: u64) -> Dag {
+        WorkloadSpec::small(1, 6)
+            .generate(&SimRng::new(seed), 0)
+            .remove(0)
+    }
+
+    fn server(strategy: StrategyKind) -> SphinxServer {
+        SphinxServer::new(
+            Arc::new(Database::in_memory()),
+            catalog(3, 4),
+            ServerConfig {
+                strategy,
+                feedback: true,
+                policy_enabled: false,
+                archive_site: None,
+            },
+        )
+    }
+
+    #[test]
+    fn submit_and_reduce_creates_ready_roots() {
+        let dag = small_dag(1);
+        let mut s = server(StrategyKind::RoundRobin);
+        s.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        let mut rls = seeded_rls(&dag);
+        let plans = s.plan_cycle(
+            SimTime::ZERO,
+            &mut rls,
+            &BTreeMap::new(),
+            &TransferModel::default(),
+        );
+        assert!(!plans.is_empty());
+        // Planned jobs are the DAG's roots.
+        let frontier = Frontier::new(&dag);
+        let roots = frontier.ready();
+        assert_eq!(plans.len(), roots.len());
+        for p in &plans {
+            assert!(roots.contains(&p.job.index));
+        }
+        assert!(!s.all_finished());
+    }
+
+    #[test]
+    fn fully_materialized_dag_finishes_without_planning() {
+        let dag = small_dag(2);
+        let mut s = server(StrategyKind::RoundRobin);
+        s.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        let mut rls = seeded_rls(&dag);
+        // Every output already exists: the reducer eliminates everything.
+        for job in &dag.jobs {
+            rls.register(job.output.file.clone(), SiteId(1));
+        }
+        let plans = s.plan_cycle(
+            SimTime::ZERO,
+            &mut rls,
+            &BTreeMap::new(),
+            &TransferModel::default(),
+        );
+        assert!(plans.is_empty());
+        assert!(s.all_finished());
+    }
+
+    #[test]
+    fn completion_reports_advance_the_dag_to_finish() {
+        let dag = small_dag(3);
+        let mut s = server(StrategyKind::RoundRobin);
+        s.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        let mut rls = seeded_rls(&dag);
+        let model = TransferModel::default();
+        let mut now = SimTime::ZERO;
+        let mut guard = 0;
+        while !s.all_finished() {
+            guard += 1;
+            assert!(guard < 100, "dag should finish");
+            let plans = s.plan_cycle(now, &mut rls, &BTreeMap::new(), &model);
+            for p in plans {
+                // Pretend the grid ran the job instantly and registered
+                // its output.
+                rls.register(p.output.file.clone(), p.site);
+                s.handle_report(
+                    StatusReport::Completed {
+                        job: p.job,
+                        site: p.site,
+                        total: Duration::from_secs(100),
+                        exec: Duration::from_secs(60),
+                        idle: Duration::from_secs(20),
+                    },
+                    now,
+                );
+            }
+            now += Duration::from_secs(10);
+        }
+        assert_eq!(s.stats().plans as usize, dag.len());
+        assert_eq!(s.reliability().total_completed() as usize, dag.len());
+    }
+
+    #[test]
+    fn cancellation_triggers_replan_away_from_bad_site() {
+        let dag = small_dag(4);
+        let mut s = server(StrategyKind::RoundRobin);
+        s.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        let mut rls = seeded_rls(&dag);
+        let model = TransferModel::default();
+        let plans = s.plan_cycle(SimTime::ZERO, &mut rls, &BTreeMap::new(), &model);
+        let victim = plans[0].clone();
+        s.handle_report(
+            StatusReport::Cancelled {
+                job: victim.job,
+                site: victim.site,
+                cause: CancelCause::Timeout,
+            },
+            SimTime::from_secs(60),
+        );
+        assert_eq!(s.stats().reschedules_timeout, 1);
+        assert!(!s.reliability().is_reliable(victim.site, SimTime::from_secs(60)));
+        // The job is planned again, and feedback steers it elsewhere.
+        let replans = s.plan_cycle(
+            SimTime::from_secs(60),
+            &mut rls,
+            &BTreeMap::new(),
+            &model,
+        );
+        let rp = replans
+            .iter()
+            .find(|p| p.job == victim.job)
+            .expect("job replanned");
+        assert_ne!(rp.site, victim.site);
+        let row = s.db.get::<JobRow>(victim.job.as_key()).unwrap();
+        assert_eq!(row.attempts, 2);
+    }
+
+    #[test]
+    fn policy_constraints_restrict_sites() {
+        let dag = small_dag(5);
+        let mut s = SphinxServer::new(
+            Arc::new(Database::in_memory()),
+            catalog(3, 4),
+            ServerConfig {
+                strategy: StrategyKind::RoundRobin,
+                feedback: false,
+                policy_enabled: true,
+                archive_site: None,
+            },
+        );
+        s.policy_mut().add_user(UserId(1), sphinx_policy::VoId(0), 1);
+        // Quota only at site 2.
+        s.policy_mut()
+            .grant(UserId(1), SiteId(2), Requirement::new(1_000_000, 1_000_000));
+        s.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        let mut rls = seeded_rls(&dag);
+        let plans = s.plan_cycle(
+            SimTime::ZERO,
+            &mut rls,
+            &BTreeMap::new(),
+            &TransferModel::default(),
+        );
+        assert!(!plans.is_empty());
+        assert!(plans.iter().all(|p| p.site == SiteId(2)));
+        assert!(s.policy().outstanding_reservations() > 0);
+    }
+
+    #[test]
+    fn user_without_quota_gets_no_plans() {
+        let dag = small_dag(6);
+        let mut s = SphinxServer::new(
+            Arc::new(Database::in_memory()),
+            catalog(2, 4),
+            ServerConfig {
+                strategy: StrategyKind::RoundRobin,
+                feedback: false,
+                policy_enabled: true,
+                archive_site: None,
+            },
+        );
+        s.submit_dag(&dag, UserId(9), SimTime::ZERO);
+        let mut rls = seeded_rls(&dag);
+        let plans = s.plan_cycle(
+            SimTime::ZERO,
+            &mut rls,
+            &BTreeMap::new(),
+            &TransferModel::default(),
+        );
+        assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn recovery_resets_inflight_and_keeps_finished() {
+        let dag = small_dag(7);
+        let wal = sphinx_db::MemWal::shared();
+        let db = Arc::new(Database::with_wal(Box::new(wal.clone())));
+        let mut s = SphinxServer::new(db, catalog(3, 4), ServerConfig::default());
+        s.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        let mut rls = seeded_rls(&dag);
+        let model = TransferModel::default();
+        let plans = s.plan_cycle(SimTime::ZERO, &mut rls, &BTreeMap::new(), &model);
+        assert!(!plans.is_empty());
+        // Complete exactly one job, leave the rest in flight; then crash.
+        let done = plans[0].clone();
+        rls.register(done.output.file.clone(), done.site);
+        s.handle_report(
+            StatusReport::Completed {
+                job: done.job,
+                site: done.site,
+                total: Duration::from_secs(90),
+                exec: Duration::from_secs(60),
+                idle: Duration::from_secs(10),
+            },
+            SimTime::from_secs(90),
+        );
+        drop(s); // crash
+
+        let recovered_db = Arc::new(Database::recover(Box::new(wal)).unwrap());
+        let mut s2 = SphinxServer::recover(recovered_db, catalog(3, 4), ServerConfig::default());
+        // The finished job stayed finished; in-flight ones are replanned.
+        let row = s2.db.get::<JobRow>(done.job.as_key()).unwrap();
+        assert_eq!(row.state, JobState::Finished);
+        let replans = s2.plan_cycle(
+            SimTime::from_secs(100),
+            &mut rls,
+            &BTreeMap::new(),
+            &model,
+        );
+        // Every in-flight job is replanned (plus any children the one
+        // completion made ready); the finished job is not.
+        assert!(replans.len() >= plans.len() - 1);
+        assert!(replans.iter().all(|p| p.job != done.job));
+        // Reliability stats survived the crash.
+        assert_eq!(s2.reliability().total_completed(), 1);
+        assert_eq!(s2.prediction().samples(done.site), 1);
+    }
+
+    #[test]
+    fn duplicate_completion_reports_are_idempotent() {
+        let dag = small_dag(8);
+        let mut s = server(StrategyKind::RoundRobin);
+        s.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        let mut rls = seeded_rls(&dag);
+        let plans = s.plan_cycle(
+            SimTime::ZERO,
+            &mut rls,
+            &BTreeMap::new(),
+            &TransferModel::default(),
+        );
+        let p = plans[0].clone();
+        let report = StatusReport::Completed {
+            job: p.job,
+            site: p.site,
+            total: Duration::from_secs(100),
+            exec: Duration::from_secs(60),
+            idle: Duration::from_secs(20),
+        };
+        s.handle_report(report.clone(), SimTime::from_secs(100));
+        s.handle_report(report, SimTime::from_secs(101));
+        assert_eq!(s.reliability().total_completed(), 1);
+        assert_eq!(s.prediction().samples(p.site), 1);
+    }
+
+    #[test]
+    fn higher_priority_users_plan_first() {
+        let dag_low = small_dag(30);
+        let mut dag_high = small_dag(31);
+        dag_high.id = sphinx_dag::DagId(1);
+        for (i, j) in dag_high.jobs.iter_mut().enumerate() {
+            j.id = JobId::new(dag_high.id, i as u32);
+        }
+        let mut s = server(StrategyKind::RoundRobin);
+        s.policy_mut().add_user(UserId(1), sphinx_policy::VoId(0), 1);
+        s.policy_mut().add_user(UserId(2), sphinx_policy::VoId(0), 50);
+        s.submit_dag(&dag_low, UserId(1), SimTime::ZERO);
+        s.submit_dag(&dag_high, UserId(2), SimTime::ZERO);
+        let mut rls = seeded_rls(&dag_low);
+        for f in dag_high.external_inputs() {
+            rls.register(f, SiteId(0));
+        }
+        let plans = s.plan_cycle(
+            SimTime::ZERO,
+            &mut rls,
+            &BTreeMap::new(),
+            &TransferModel::default(),
+        );
+        let first_low = plans
+            .iter()
+            .position(|p| p.job.dag == dag_low.id)
+            .unwrap_or(plans.len());
+        let last_high = plans
+            .iter()
+            .rposition(|p| p.job.dag == dag_high.id)
+            .expect("high-priority jobs planned");
+        assert!(
+            last_high < first_low,
+            "priority 50 plans before priority 1"
+        );
+    }
+
+    #[test]
+    fn deadline_dags_plan_first_and_get_the_fast_lane() {
+        let dag_slow = small_dag(20);
+        let mut dag_urgent = small_dag(21);
+        dag_urgent.id = sphinx_dag::DagId(1);
+        for (i, j) in dag_urgent.jobs.iter_mut().enumerate() {
+            j.id = JobId::new(dag_urgent.id, i as u32);
+        }
+        let mut s = server(StrategyKind::CompletionTime);
+        // Teach the prediction module which site is fastest.
+        s.prediction.record(SiteId(1), sphinx_sim::Duration::from_secs(50));
+        s.prediction.record(SiteId(0), sphinx_sim::Duration::from_secs(500));
+        s.prediction.record(SiteId(2), sphinx_sim::Duration::from_secs(500));
+        s.submit_dag(&dag_slow, UserId(1), SimTime::ZERO);
+        s.submit_dag_with_deadline(
+            &dag_urgent,
+            UserId(1),
+            SimTime::ZERO,
+            Some(SimTime::from_secs(600)),
+        );
+        let mut rls = seeded_rls(&dag_slow);
+        for f in dag_urgent.external_inputs() {
+            rls.register(f, SiteId(0));
+        }
+        let plans = s.plan_cycle(
+            SimTime::ZERO,
+            &mut rls,
+            &BTreeMap::new(),
+            &TransferModel::default(),
+        );
+        // Urgent jobs are planned before deadline-free ones (EDF)…
+        let first_non_urgent = plans
+            .iter()
+            .position(|p| p.job.dag == dag_slow.id)
+            .unwrap_or(plans.len());
+        let last_urgent = plans
+            .iter()
+            .rposition(|p| p.job.dag == dag_urgent.id)
+            .expect("urgent jobs planned");
+        assert!(
+            last_urgent < first_non_urgent,
+            "EDF: urgent before deadline-free"
+        );
+        // …and the fast site is reserved for them.
+        for p in &plans {
+            if p.job.dag == dag_slow.id {
+                assert_ne!(p.site, SiteId(1), "fast lane leaked to {:?}", p.job);
+            }
+        }
+    }
+
+    #[test]
+    fn queued_and_running_reports_advance_state() {
+        let dag = small_dag(9);
+        let mut s = server(StrategyKind::RoundRobin);
+        s.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        let mut rls = seeded_rls(&dag);
+        let plans = s.plan_cycle(
+            SimTime::ZERO,
+            &mut rls,
+            &BTreeMap::new(),
+            &TransferModel::default(),
+        );
+        let p = &plans[0];
+        s.handle_report(
+            StatusReport::Queued {
+                job: p.job,
+                site: p.site,
+            },
+            SimTime::from_secs(10),
+        );
+        assert_eq!(
+            s.db.get::<JobRow>(p.job.as_key()).unwrap().state,
+            JobState::Queued
+        );
+        s.handle_report(
+            StatusReport::Running {
+                job: p.job,
+                site: p.site,
+            },
+            SimTime::from_secs(20),
+        );
+        assert_eq!(
+            s.db.get::<JobRow>(p.job.as_key()).unwrap().state,
+            JobState::Running
+        );
+    }
+}

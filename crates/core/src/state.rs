@@ -1,0 +1,232 @@
+//! The scheduling finite-state automaton and its database rows.
+//!
+//! "SPHINX adapts \[a\] finite automaton for scheduling status management.
+//! The scheduler moves a DAG through predefined states to complete
+//! resource allocation to the jobs in the DAG" (§3.2). Every stateful
+//! entity is a database row; modules advance entities by rewriting rows,
+//! which is what makes a crashed server recoverable.
+
+use serde::{Deserialize, Serialize};
+use sphinx_dag::{Dag, DagId, JobId};
+use sphinx_data::SiteId;
+use sphinx_db::Record;
+use sphinx_policy::UserId;
+use sphinx_sim::SimTime;
+
+/// Lifecycle of a DAG inside the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DagState {
+    /// Accepted from the client, awaiting reduction.
+    Received,
+    /// Reduced against the replica catalog; jobs are being planned/run.
+    Running,
+    /// Every job completed (or was eliminated by the reducer).
+    Finished,
+}
+
+/// Lifecycle of one job inside the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Waiting for parent jobs to produce inputs.
+    Unready,
+    /// All inputs available; awaiting a planning decision.
+    Ready,
+    /// Planned and handed to the client for submission.
+    Submitted,
+    /// The site's batch system acknowledged the job.
+    Queued,
+    /// Executing on a CPU.
+    Running,
+    /// Done; output registered.
+    Finished,
+    /// Eliminated by the DAG reducer (output already existed).
+    Eliminated,
+}
+
+impl JobState {
+    /// States in which the job occupies (or will occupy) remote resources
+    /// — used for the strategies' `planned_jobs` bookkeeping.
+    pub fn is_outstanding(self) -> bool {
+        matches!(
+            self,
+            JobState::Submitted | JobState::Queued | JobState::Running
+        )
+    }
+
+    /// Terminal states.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Finished | JobState::Eliminated)
+    }
+}
+
+/// Database row for a DAG. The full abstract plan is stored with the row
+/// so a recovered server can rebuild frontiers without the client.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DagRow {
+    /// The DAG id (primary key).
+    pub id: DagId,
+    /// The abstract plan.
+    pub dag: Dag,
+    /// Submitting user.
+    pub user: UserId,
+    /// Automaton state.
+    pub state: DagState,
+    /// When the client submitted it.
+    pub submitted_at: SimTime,
+    /// When the last job finished (set on completion).
+    pub finished_at: Option<SimTime>,
+    /// Quality-of-service deadline (absolute), if the user requested one.
+    /// The paper lists QoS-aware scheduling as future work (§6); with a
+    /// deadline set, the planner orders ready jobs earliest-deadline-first.
+    #[serde(default)]
+    pub deadline: Option<SimTime>,
+}
+
+impl Record for DagRow {
+    const TABLE: &'static str = "dags";
+    fn key(&self) -> u64 {
+        self.id.0
+    }
+}
+
+/// Database row for a job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobRow {
+    /// The job id (primary key via [`JobId::as_key`]).
+    pub id: JobId,
+    /// Automaton state.
+    pub state: JobState,
+    /// Site chosen by the most recent plan.
+    pub site: Option<SiteId>,
+    /// Grid submission handle of the current attempt.
+    pub handle: Option<u64>,
+    /// Quota reservation id of the current attempt (policy mode).
+    pub reservation: Option<u64>,
+    /// Number of submission attempts so far.
+    pub attempts: u32,
+    /// When the current attempt was submitted.
+    pub submitted_at: Option<SimTime>,
+    /// Tracker-observed timings of the successful attempt.
+    pub exec_secs: Option<f64>,
+    /// Queue (idle) time of the successful attempt, in seconds.
+    pub idle_secs: Option<f64>,
+}
+
+impl JobRow {
+    /// A fresh, unplanned job row.
+    pub fn new(id: JobId) -> Self {
+        JobRow {
+            id,
+            state: JobState::Unready,
+            site: None,
+            handle: None,
+            reservation: None,
+            attempts: 0,
+            submitted_at: None,
+            exec_secs: None,
+            idle_secs: None,
+        }
+    }
+
+    /// Reset the row for a replan (after a hold/timeout).
+    pub fn reset_for_replan(&mut self) {
+        self.state = JobState::Ready;
+        self.site = None;
+        self.handle = None;
+        self.reservation = None;
+        self.submitted_at = None;
+    }
+}
+
+impl Record for JobRow {
+    const TABLE: &'static str = "jobs";
+    fn key(&self) -> u64 {
+        self.id.as_key()
+    }
+}
+
+/// Persisted per-site tracker statistics (so feedback survives recovery).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SiteStatsRow {
+    /// Site id (primary key).
+    pub site: u32,
+    /// Jobs completed at the site (tracker-confirmed).
+    pub completed: u64,
+    /// Jobs cancelled at the site (held, killed or timed out).
+    pub cancelled: u64,
+    /// Sum of observed completion times, seconds.
+    pub completion_secs_sum: f64,
+    /// Number of completion-time samples.
+    pub completion_samples: u64,
+}
+
+impl Record for SiteStatsRow {
+    const TABLE: &'static str = "site_stats";
+    fn key(&self) -> u64 {
+        self.site as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sphinx_dag::WorkloadSpec;
+    use sphinx_db::Database;
+    use sphinx_sim::SimRng;
+
+    #[test]
+    fn job_state_predicates() {
+        assert!(JobState::Submitted.is_outstanding());
+        assert!(JobState::Queued.is_outstanding());
+        assert!(JobState::Running.is_outstanding());
+        assert!(!JobState::Ready.is_outstanding());
+        assert!(JobState::Finished.is_terminal());
+        assert!(JobState::Eliminated.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+    }
+
+    #[test]
+    fn rows_round_trip_through_database() {
+        let db = Database::in_memory();
+        let dag = WorkloadSpec::small(1, 5).generate(&SimRng::new(1), 0).remove(0);
+        let row = DagRow {
+            id: dag.id,
+            dag: dag.clone(),
+            user: UserId(1),
+            state: DagState::Received,
+            submitted_at: SimTime::from_secs(10),
+            finished_at: None,
+            deadline: None,
+        };
+        db.insert(&row).unwrap();
+        let back = db.get::<DagRow>(dag.id.0).unwrap();
+        assert_eq!(back.dag, dag);
+        assert_eq!(back.state, DagState::Received);
+
+        let jid = JobId::new(dag.id, 3);
+        let jrow = JobRow::new(jid);
+        db.insert(&jrow).unwrap();
+        let jback = db.get::<JobRow>(jid.as_key()).unwrap();
+        assert_eq!(jback.id, jid);
+        assert_eq!(jback.state, JobState::Unready);
+    }
+
+    #[test]
+    fn replan_reset_clears_attempt_fields() {
+        let mut row = JobRow::new(JobId::new(DagId(1), 0));
+        row.state = JobState::Running;
+        row.site = Some(SiteId(3));
+        row.handle = Some(42);
+        row.reservation = Some(7);
+        row.attempts = 2;
+        row.submitted_at = Some(SimTime::from_secs(5));
+        row.reset_for_replan();
+        assert_eq!(row.state, JobState::Ready);
+        assert_eq!(row.site, None);
+        assert_eq!(row.handle, None);
+        assert_eq!(row.reservation, None);
+        assert_eq!(row.submitted_at, None);
+        // Attempt count is history, not attempt state: it survives.
+        assert_eq!(row.attempts, 2);
+    }
+}

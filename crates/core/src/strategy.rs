@@ -1,0 +1,393 @@
+//! The §4.1 scheduling algorithms.
+//!
+//! Each strategy picks an execution site for one ready job from a
+//! candidate list that has already been filtered by policy constraints
+//! (eq. 4) and — when feedback is enabled — by the reliability index. The
+//! strategies differ only in the signal they rank sites by:
+//!
+//! | Strategy | Signal | Paper |
+//! |---|---|---|
+//! | [`StrategyKind::RoundRobin`] | catalog order | "submits jobs in the order of sites in a given list" |
+//! | [`StrategyKind::NumCpus`] | eq. 1: `(planned + unfinished) / cpus` from SPHINX-local bookkeeping | static-ish |
+//! | [`StrategyKind::QueueLength`] | eq. 2: `(queued + running + planned) / cpus` from the (stale) monitor | dynamic |
+//! | [`StrategyKind::CompletionTime`] | eq. 3: min normalised `Avg_comp` with round-robin until samples exist | hybrid |
+
+use crate::prediction::Prediction;
+use serde::{Deserialize, Serialize};
+use sphinx_data::SiteId;
+use sphinx_monitor::Report;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Static information about a site, from the grid catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteInfo {
+    /// Identity.
+    pub id: SiteId,
+    /// Name (for reporting).
+    pub name: String,
+    /// CPU count (the only static signal the paper's strategies use).
+    pub cpus: u32,
+}
+
+/// Which §4.1 algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Cycle through the site list.
+    RoundRobin,
+    /// Eq. 1: least outstanding-per-CPU (SPHINX-local bookkeeping only).
+    NumCpus,
+    /// Eq. 2: least (monitored queue + running + planned) per CPU.
+    QueueLength,
+    /// Eq. 3: least average completion time; round-robin until every
+    /// candidate has at least one sample.
+    CompletionTime,
+}
+
+impl StrategyKind {
+    /// All four, in the order the paper's figures list them.
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::CompletionTime,
+        StrategyKind::QueueLength,
+        StrategyKind::NumCpus,
+        StrategyKind::RoundRobin,
+    ];
+
+    /// Label used in figures and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::RoundRobin => "round-robin",
+            StrategyKind::NumCpus => "num-cpus",
+            StrategyKind::QueueLength => "queue-length",
+            StrategyKind::CompletionTime => "completion-time",
+        }
+    }
+
+    /// Whether the paper always pairs this strategy with feedback
+    /// (queue-length and completion-time "utilize the feedback
+    /// information" by construction).
+    pub fn implies_feedback(self) -> bool {
+        matches!(
+            self,
+            StrategyKind::QueueLength | StrategyKind::CompletionTime
+        )
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything a strategy may look at when placing one job.
+#[derive(Debug)]
+pub struct PlanningView<'a> {
+    /// Full site catalog, in list order (round-robin order).
+    pub catalog: &'a [SiteInfo],
+    /// Feasible candidates (already policy- and feedback-filtered),
+    /// subset of the catalog.
+    pub candidates: &'a [SiteId],
+    /// SPHINX-local bookkeeping: jobs planned/submitted/queued/running per
+    /// site and not yet finished (eq. 1/2's `planned + unfinished`).
+    pub outstanding: &'a BTreeMap<SiteId, u64>,
+    /// Latest visible monitoring reports (eq. 2's queue lengths).
+    pub reports: &'a BTreeMap<SiteId, Report>,
+    /// Completion-time statistics (eq. 3's `Avg_comp`).
+    pub prediction: &'a Prediction,
+}
+
+impl<'a> PlanningView<'a> {
+    fn cpus_of(&self, site: SiteId) -> u32 {
+        self.catalog
+            .iter()
+            .find(|s| s.id == site)
+            .map_or(1, |s| s.cpus.max(1))
+    }
+
+    fn outstanding_of(&self, site: SiteId) -> u64 {
+        self.outstanding.get(&site).copied().unwrap_or(0)
+    }
+}
+
+/// Mutable per-run strategy state (the round-robin cursor).
+#[derive(Debug, Clone, Default)]
+pub struct StrategyState {
+    cursor: usize,
+}
+
+impl StrategyState {
+    /// Fresh state (cursor at the head of the list).
+    pub fn new() -> Self {
+        StrategyState::default()
+    }
+}
+
+impl StrategyKind {
+    /// Choose a site for one job. `None` only when `candidates` is empty.
+    pub fn choose(self, view: &PlanningView<'_>, state: &mut StrategyState) -> Option<SiteId> {
+        if view.candidates.is_empty() {
+            return None;
+        }
+        match self {
+            StrategyKind::RoundRobin => Some(round_robin(view, state, view.candidates)),
+            StrategyKind::NumCpus => Some(argmin(view.candidates, |&s| {
+                view.outstanding_of(s) as f64 / view.cpus_of(s) as f64
+            })),
+            StrategyKind::QueueLength => Some(argmin(view.candidates, |&s| {
+                let (queued, running) = view
+                    .reports
+                    .get(&s)
+                    .map(|r| (r.queued, r.running))
+                    .unwrap_or((0, 0));
+                (queued as f64 + running as f64 + view.outstanding_of(s) as f64)
+                    / view.cpus_of(s) as f64
+            })),
+            StrategyKind::CompletionTime => {
+                // Hybrid (eq. 3): "SPHINX schedules jobs on [a] round robin
+                // technique until it has [completion-time] information for
+                // the remote sites", then exploits the minimum average.
+                let sampled: Vec<SiteId> = view
+                    .candidates
+                    .iter()
+                    .copied()
+                    .filter(|&s| view.prediction.samples(s) > 0)
+                    .collect();
+                if sampled.is_empty() {
+                    // Bootstrap: no information anywhere yet.
+                    return Some(round_robin(view, state, view.candidates));
+                }
+                // Probe unknown sites — but at most one in-flight probe
+                // per site, so a site that never answers (black hole,
+                // dead gatekeeper) absorbs one job per probation window,
+                // not a whole wave of ready jobs.
+                let probeable: Vec<SiteId> = view
+                    .candidates
+                    .iter()
+                    .copied()
+                    .filter(|&s| view.prediction.samples(s) == 0 && view.outstanding_of(s) == 0)
+                    .collect();
+                if !probeable.is_empty() {
+                    return Some(round_robin(view, state, &probeable));
+                }
+                // The prediction module estimates what a NEW request would
+                // experience: the historical average, corrected for the
+                // load SPHINX itself has already directed at the site and
+                // that the history cannot reflect yet. Without the
+                // correction every ready wave herds onto the single
+                // fastest site and saturates it.
+                Some(argmin(&sampled, |&s| {
+                    let avg = view.prediction.average(s).unwrap_or(f64::INFINITY);
+                    let pressure = view.outstanding_of(s) as f64 / view.cpus_of(s) as f64;
+                    avg * (1.0 + pressure)
+                }))
+            }
+        }
+    }
+}
+
+/// First candidate at or after the cursor, in catalog order.
+fn round_robin(view: &PlanningView<'_>, state: &mut StrategyState, from: &[SiteId]) -> SiteId {
+    let n = view.catalog.len().max(1);
+    for step in 0..n {
+        let idx = (state.cursor + step) % n;
+        let site = view.catalog[idx].id;
+        if from.contains(&site) {
+            state.cursor = (idx + 1) % n;
+            return site;
+        }
+    }
+    // `from` is non-empty but contains sites outside the catalog — fall
+    // back to its head rather than panic.
+    from[0]
+}
+
+/// Site minimising `score`; ties go to the earlier candidate (stable).
+fn argmin(candidates: &[SiteId], mut score: impl FnMut(&SiteId) -> f64) -> SiteId {
+    let mut best = candidates[0];
+    let mut best_score = score(&candidates[0]);
+    for &c in &candidates[1..] {
+        let s = score(&c);
+        if s < best_score {
+            best = c;
+            best_score = s;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sphinx_sim::{Duration, SimTime};
+
+    fn catalog(cpus: &[u32]) -> Vec<SiteInfo> {
+        cpus.iter()
+            .enumerate()
+            .map(|(i, &c)| SiteInfo {
+                id: SiteId(i as u32),
+                name: format!("s{i}"),
+                cpus: c,
+            })
+            .collect()
+    }
+
+    fn report(site: u32, queued: usize, running: usize) -> (SiteId, Report) {
+        (
+            SiteId(site),
+            Report {
+                site: SiteId(site),
+                cpus: 10,
+                queued,
+                running,
+                measured_at: SimTime::ZERO,
+            },
+        )
+    }
+
+    fn view<'a>(
+        catalog: &'a [SiteInfo],
+        candidates: &'a [SiteId],
+        outstanding: &'a BTreeMap<SiteId, u64>,
+        reports: &'a BTreeMap<SiteId, Report>,
+        prediction: &'a Prediction,
+    ) -> PlanningView<'a> {
+        PlanningView {
+            catalog,
+            candidates,
+            outstanding,
+            reports,
+            prediction,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_in_catalog_order() {
+        let cat = catalog(&[1, 1, 1]);
+        let cands = [SiteId(0), SiteId(1), SiteId(2)];
+        let (o, r, p) = (BTreeMap::new(), BTreeMap::new(), Prediction::new());
+        let v = view(&cat, &cands, &o, &r, &p);
+        let mut st = StrategyState::new();
+        let picks: Vec<u32> = (0..6)
+            .map(|_| StrategyKind::RoundRobin.choose(&v, &mut st).unwrap().0)
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_filtered_sites() {
+        let cat = catalog(&[1, 1, 1]);
+        let cands = [SiteId(0), SiteId(2)]; // site 1 filtered out
+        let (o, r, p) = (BTreeMap::new(), BTreeMap::new(), Prediction::new());
+        let v = view(&cat, &cands, &o, &r, &p);
+        let mut st = StrategyState::new();
+        let picks: Vec<u32> = (0..4)
+            .map(|_| StrategyKind::RoundRobin.choose(&v, &mut st).unwrap().0)
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn num_cpus_picks_least_loaded_per_cpu() {
+        let cat = catalog(&[10, 100]);
+        let cands = [SiteId(0), SiteId(1)];
+        let mut o = BTreeMap::new();
+        o.insert(SiteId(0), 5u64); // 0.5 per CPU
+        o.insert(SiteId(1), 80u64); // 0.8 per CPU
+        let (r, p) = (BTreeMap::new(), Prediction::new());
+        let v = view(&cat, &cands, &o, &r, &p);
+        let mut st = StrategyState::new();
+        assert_eq!(
+            StrategyKind::NumCpus.choose(&v, &mut st),
+            Some(SiteId(0)),
+            "5/10 < 80/100"
+        );
+    }
+
+    #[test]
+    fn num_cpus_prefers_bigger_site_when_equally_loaded() {
+        let cat = catalog(&[10, 100]);
+        let cands = [SiteId(0), SiteId(1)];
+        let mut o = BTreeMap::new();
+        o.insert(SiteId(0), 5u64); // 0.5
+        o.insert(SiteId(1), 10u64); // 0.1
+        let (r, p) = (BTreeMap::new(), Prediction::new());
+        let v = view(&cat, &cands, &o, &r, &p);
+        let mut st = StrategyState::new();
+        assert_eq!(StrategyKind::NumCpus.choose(&v, &mut st), Some(SiteId(1)));
+    }
+
+    #[test]
+    fn queue_length_uses_monitor_reports() {
+        let cat = catalog(&[10, 10]);
+        let cands = [SiteId(0), SiteId(1)];
+        let o = BTreeMap::new();
+        let r: BTreeMap<SiteId, Report> =
+            [report(0, 50, 10), report(1, 2, 3)].into_iter().collect();
+        let p = Prediction::new();
+        let v = view(&cat, &cands, &o, &r, &p);
+        let mut st = StrategyState::new();
+        assert_eq!(
+            StrategyKind::QueueLength.choose(&v, &mut st),
+            Some(SiteId(1))
+        );
+    }
+
+    #[test]
+    fn queue_length_treats_missing_report_as_idle() {
+        let cat = catalog(&[10, 10]);
+        let cands = [SiteId(0), SiteId(1)];
+        let o = BTreeMap::new();
+        let r: BTreeMap<SiteId, Report> = [report(0, 5, 5)].into_iter().collect();
+        let p = Prediction::new();
+        let v = view(&cat, &cands, &o, &r, &p);
+        let mut st = StrategyState::new();
+        // Site 1 has no report: optimistically assumed idle.
+        assert_eq!(
+            StrategyKind::QueueLength.choose(&v, &mut st),
+            Some(SiteId(1))
+        );
+    }
+
+    #[test]
+    fn completion_time_explores_then_exploits() {
+        let cat = catalog(&[10, 10, 10]);
+        let cands = [SiteId(0), SiteId(1), SiteId(2)];
+        let o = BTreeMap::new();
+        let r = BTreeMap::new();
+        let mut p = Prediction::new();
+        p.record(SiteId(0), Duration::from_secs(500));
+        let v = view(&cat, &cands, &o, &r, &p);
+        let mut st = StrategyState::new();
+        // Sites 1 and 2 have no samples: the hybrid explores them first.
+        let first = StrategyKind::CompletionTime.choose(&v, &mut st).unwrap();
+        assert!(first == SiteId(1) || first == SiteId(2));
+        p.record(SiteId(1), Duration::from_secs(100));
+        p.record(SiteId(2), Duration::from_secs(300));
+        let v = view(&cat, &cands, &o, &r, &p);
+        // All sampled: exploit the fastest.
+        assert_eq!(
+            StrategyKind::CompletionTime.choose(&v, &mut st),
+            Some(SiteId(1))
+        );
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let cat = catalog(&[1]);
+        let (o, r, p) = (BTreeMap::new(), BTreeMap::new(), Prediction::new());
+        let v = view(&cat, &[], &o, &r, &p);
+        let mut st = StrategyState::new();
+        for k in StrategyKind::ALL {
+            assert_eq!(k.choose(&v, &mut st), None);
+        }
+    }
+
+    #[test]
+    fn labels_and_feedback_implication() {
+        assert_eq!(StrategyKind::CompletionTime.label(), "completion-time");
+        assert!(StrategyKind::QueueLength.implies_feedback());
+        assert!(!StrategyKind::RoundRobin.implies_feedback());
+        assert_eq!(format!("{}", StrategyKind::NumCpus), "num-cpus");
+    }
+}

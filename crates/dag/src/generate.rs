@@ -1,0 +1,327 @@
+//! Workload generation.
+//!
+//! The paper's evaluation submits "directed acyclic graphs (DAGs) of jobs,
+//! each of which has 100 jobs in random structure. … The job simulates a
+//! simple execution that takes two or three input files, spends one minute
+//! before generating an output file. The size of output file is different
+//! for each job" (§4.2). [`WorkloadSpec`] reproduces that workload and a
+//! few additional shapes used by the examples.
+
+use crate::spec::{Dag, DagId, FileSpec, JobId, JobSpec, LogicalFile};
+use serde::{Deserialize, Serialize};
+use sphinx_sim::{Duration, SimRng};
+
+/// Structural family of generated DAGs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DagShape {
+    /// The paper's workload: each job draws each input either from a
+    /// uniformly random earlier job's output (probability `p_internal`) or
+    /// from a pre-existing external dataset.
+    Random {
+        /// Probability that an input is internal (an earlier job's output).
+        p_internal: f64,
+    },
+    /// A linear pipeline: job *i* consumes job *i−1*'s output.
+    Chain,
+    /// One splitter, `width` parallel workers, one merger.
+    FanOutFanIn {
+        /// Number of parallel workers.
+        width: u32,
+    },
+    /// `layers` equal layers; each job consumes 2–3 outputs of the
+    /// previous layer (high-energy-physics production style).
+    Layered {
+        /// Number of layers.
+        layers: u32,
+    },
+}
+
+/// Parameters of a generated workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of DAGs to generate.
+    pub dags: u32,
+    /// Jobs per DAG.
+    pub jobs_per_dag: u32,
+    /// DAG structure.
+    pub shape: DagShape,
+    /// Mean nominal compute per job (paper: one minute).
+    pub compute_mean: Duration,
+    /// Relative jitter on compute time, in `[0, 1]`.
+    pub compute_jitter: f64,
+    /// Inclusive range of output file sizes, in MB.
+    pub output_mb: (u64, u64),
+    /// Inclusive range of the number of inputs per job (paper: 2–3).
+    pub inputs_per_job: (u32, u32),
+}
+
+impl WorkloadSpec {
+    /// The paper's §4.2 workload: `dags` DAGs × 100 random-structure jobs,
+    /// 2–3 inputs, ~1 minute of compute, varied output sizes.
+    pub fn paper(dags: u32) -> Self {
+        WorkloadSpec {
+            dags,
+            jobs_per_dag: 100,
+            shape: DagShape::Random { p_internal: 0.5 },
+            compute_mean: Duration::from_mins(1),
+            compute_jitter: 0.2,
+            output_mb: (50, 500),
+            inputs_per_job: (2, 3),
+        }
+    }
+
+    /// A scaled-down variant for fast tests and examples.
+    pub fn small(dags: u32, jobs_per_dag: u32) -> Self {
+        WorkloadSpec {
+            jobs_per_dag,
+            ..WorkloadSpec::paper(dags)
+        }
+    }
+
+    /// Generate the whole workload deterministically from `rng`.
+    /// DAG ids are `first_id, first_id+1, …`.
+    pub fn generate(&self, rng: &SimRng, first_id: u64) -> Vec<Dag> {
+        (0..self.dags)
+            .map(|i| {
+                let id = DagId(first_id + i as u64);
+                let mut stream = rng.derive_indexed("dag", id.0);
+                self.generate_one(id, &mut stream)
+            })
+            .collect()
+    }
+
+    /// Generate a single DAG with the given id.
+    pub fn generate_one(&self, id: DagId, rng: &mut SimRng) -> Dag {
+        let n = self.jobs_per_dag;
+        let jobs = match self.shape {
+            DagShape::Random { p_internal } => self.random_jobs(id, n, p_internal, rng),
+            DagShape::Chain => self.chain_jobs(id, n, rng),
+            DagShape::FanOutFanIn { width } => self.fan_jobs(id, width, rng),
+            DagShape::Layered { layers } => self.layered_jobs(id, n, layers, rng),
+        };
+        Dag::new(id, jobs).expect("generators produce valid DAGs")
+    }
+
+    fn make_job(
+        &self,
+        id: DagId,
+        index: u32,
+        inputs: Vec<LogicalFile>,
+        rng: &mut SimRng,
+    ) -> JobSpec {
+        let size = rng.range_u64(self.output_mb.0, self.output_mb.1 + 1);
+        JobSpec {
+            id: JobId::new(id, index),
+            name: format!("transform-{index}"),
+            inputs,
+            output: FileSpec::new(internal_file(id, index), size),
+            compute: rng.jittered(self.compute_mean, self.compute_jitter),
+        }
+    }
+
+    fn n_inputs(&self, rng: &mut SimRng) -> u32 {
+        let (lo, hi) = self.inputs_per_job;
+        if lo >= hi {
+            lo
+        } else {
+            rng.range_u64(lo as u64, hi as u64 + 1) as u32
+        }
+    }
+
+    fn random_jobs(
+        &self,
+        id: DagId,
+        n: u32,
+        p_internal: f64,
+        rng: &mut SimRng,
+    ) -> Vec<JobSpec> {
+        (0..n)
+            .map(|i| {
+                let k = self.n_inputs(rng);
+                let mut inputs = Vec::with_capacity(k as usize);
+                for slot in 0..k {
+                    let internal = i > 0 && rng.chance(p_internal);
+                    let file = if internal {
+                        let p = rng.range_u64(0, i as u64) as u32;
+                        internal_file(id, p)
+                    } else {
+                        external_file(id, i, slot)
+                    };
+                    if !inputs.contains(&file) {
+                        inputs.push(file);
+                    }
+                }
+                self.make_job(id, i, inputs, rng)
+            })
+            .collect()
+    }
+
+    fn chain_jobs(&self, id: DagId, n: u32, rng: &mut SimRng) -> Vec<JobSpec> {
+        (0..n)
+            .map(|i| {
+                let inputs = if i == 0 {
+                    vec![external_file(id, 0, 0)]
+                } else {
+                    vec![internal_file(id, i - 1)]
+                };
+                self.make_job(id, i, inputs, rng)
+            })
+            .collect()
+    }
+
+    fn fan_jobs(&self, id: DagId, width: u32, rng: &mut SimRng) -> Vec<JobSpec> {
+        let width = width.max(1);
+        let mut jobs = Vec::with_capacity(width as usize + 2);
+        jobs.push(self.make_job(id, 0, vec![external_file(id, 0, 0)], rng));
+        for w in 0..width {
+            jobs.push(self.make_job(id, w + 1, vec![internal_file(id, 0)], rng));
+        }
+        let merge_inputs = (0..width).map(|w| internal_file(id, w + 1)).collect();
+        jobs.push(self.make_job(id, width + 1, merge_inputs, rng));
+        jobs
+    }
+
+    fn layered_jobs(&self, id: DagId, n: u32, layers: u32, rng: &mut SimRng) -> Vec<JobSpec> {
+        let layers = layers.clamp(1, n.max(1));
+        let per_layer = (n / layers).max(1);
+        let mut jobs: Vec<JobSpec> = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let layer = (i / per_layer).min(layers - 1);
+            let inputs = if layer == 0 {
+                vec![external_file(id, i, 0)]
+            } else {
+                let lo = (layer - 1) * per_layer;
+                let hi = (layer * per_layer).min(n);
+                let k = self.n_inputs(rng).min(hi - lo);
+                let mut inputs = Vec::new();
+                for _ in 0..k.max(1) {
+                    let p = rng.range_u64(lo as u64, hi as u64) as u32;
+                    let f = internal_file(id, p);
+                    if !inputs.contains(&f) {
+                        inputs.push(f);
+                    }
+                }
+                inputs
+            };
+            jobs.push(self.make_job(id, i, inputs, rng));
+        }
+        jobs
+    }
+}
+
+/// The logical name of job `index`'s output within DAG `id`.
+pub fn internal_file(id: DagId, index: u32) -> LogicalFile {
+    LogicalFile::new(format!("{id}.out{index}"))
+}
+
+/// A pre-existing external dataset name, unique per (dag, job, slot).
+pub fn external_file(id: DagId, job: u32, slot: u32) -> LogicalFile {
+    LogicalFile::new(format!("{id}.ext{job}-{slot}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_workload_matches_section_4_2() {
+        let spec = WorkloadSpec::paper(3);
+        let rng = SimRng::new(42);
+        let dags = spec.generate(&rng, 0);
+        assert_eq!(dags.len(), 3);
+        for dag in &dags {
+            assert_eq!(dag.len(), 100);
+            dag.validate().unwrap();
+            for job in &dag.jobs {
+                assert!(!job.inputs.is_empty() && job.inputs.len() <= 3);
+                let secs = job.compute.as_secs_f64();
+                assert!((48.0..=72.0).contains(&secs), "compute {secs}");
+                assert!((50..=500).contains(&job.output.size_mb));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::paper(2);
+        let a = spec.generate(&SimRng::new(7), 0);
+        let b = spec.generate(&SimRng::new(7), 0);
+        assert_eq!(a, b);
+        let c = spec.generate(&SimRng::new(8), 0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dag_ids_start_at_first_id() {
+        let spec = WorkloadSpec::small(3, 5);
+        let dags = spec.generate(&SimRng::new(1), 10);
+        assert_eq!(
+            dags.iter().map(|d| d.id.0).collect::<Vec<_>>(),
+            vec![10, 11, 12]
+        );
+    }
+
+    #[test]
+    fn chain_shape_has_full_depth() {
+        let spec = WorkloadSpec {
+            shape: DagShape::Chain,
+            ..WorkloadSpec::small(1, 20)
+        };
+        let dag = &spec.generate(&SimRng::new(3), 0)[0];
+        assert_eq!(dag.depth(), 20);
+    }
+
+    #[test]
+    fn fan_shape_has_depth_three() {
+        let spec = WorkloadSpec {
+            shape: DagShape::FanOutFanIn { width: 8 },
+            ..WorkloadSpec::small(1, 10)
+        };
+        let dag = &spec.generate(&SimRng::new(3), 0)[0];
+        assert_eq!(dag.len(), 10); // 1 + 8 + 1
+        assert_eq!(dag.depth(), 3);
+    }
+
+    #[test]
+    fn layered_shape_has_requested_layers() {
+        let spec = WorkloadSpec {
+            shape: DagShape::Layered { layers: 4 },
+            ..WorkloadSpec::small(1, 20)
+        };
+        let dag = &spec.generate(&SimRng::new(3), 0)[0];
+        assert_eq!(dag.len(), 20);
+        assert_eq!(dag.depth(), 4);
+    }
+
+    #[test]
+    fn random_dags_have_some_parallelism_and_some_dependencies() {
+        let spec = WorkloadSpec::paper(1);
+        let dag = &spec.generate(&SimRng::new(11), 0)[0];
+        let depth = dag.depth();
+        // Random structure: neither a flat bag nor a pure chain.
+        assert!(depth > 1, "no dependencies generated");
+        assert!(depth < 100, "degenerated into a chain");
+        assert!(!dag.external_inputs().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_all_shapes_generate_valid_dags(
+            seed in 0u64..500,
+            jobs in 2u32..40,
+            shape_pick in 0u32..4,
+        ) {
+            let shape = match shape_pick {
+                0 => DagShape::Random { p_internal: 0.5 },
+                1 => DagShape::Chain,
+                2 => DagShape::FanOutFanIn { width: jobs.saturating_sub(2).max(1) },
+                _ => DagShape::Layered { layers: 3 },
+            };
+            let spec = WorkloadSpec { shape, ..WorkloadSpec::small(1, jobs) };
+            let dag = &spec.generate(&SimRng::new(seed), 0)[0];
+            prop_assert!(dag.validate().is_ok());
+            prop_assert!(dag.topo_order().is_some());
+        }
+    }
+}

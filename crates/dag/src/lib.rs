@@ -1,0 +1,29 @@
+//! Abstract workflow DAGs for SPHINX.
+//!
+//! SPHINX receives "an abstract DAG produced by a workflow planner such as
+//! the Chimera Virtual Data System" (§3.3): a group of jobs whose edges are
+//! *logical file dependencies* — job B depends on job A exactly when one of
+//! B's inputs is A's output. This crate is the Chimera-equivalent substrate:
+//!
+//! * [`Dag`] / [`JobSpec`] — the abstract plan: per-job logical inputs, one
+//!   logical output with a size, and a nominal compute duration.
+//! * Validation — acyclicity, unique outputs, resolvable inputs.
+//! * [`Frontier`] — the ready-set tracker the server's planner uses to pick
+//!   "jobs that are ready for execution according to input data
+//!   availability" (§3.2, *Planner*, step 1).
+//! * [`generate`] — workload generators, including the paper's evaluation
+//!   workload: N-job DAGs "in random structure" where each job "takes two
+//!   or three input files, spends one minute before generating an output
+//!   file" (§4.2).
+//! * [`reduce()`] — the DAG reducer (§3.2): jobs whose outputs already exist
+//!   in a replica catalog are eliminated before planning.
+
+pub mod frontier;
+pub mod generate;
+pub mod reduce;
+pub mod spec;
+
+pub use frontier::Frontier;
+pub use generate::{DagShape, WorkloadSpec};
+pub use reduce::{reduce, Reduction};
+pub use spec::{Dag, DagId, DagValidationError, FileSpec, JobId, JobSpec, LogicalFile};

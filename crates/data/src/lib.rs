@@ -1,0 +1,29 @@
+//! Data management substrate for SPHINX.
+//!
+//! The paper's SPHINX delegates data management to two Globus services it
+//! does not implement itself: the Replica Location Service for replica
+//! existence/location queries, and GridFTP for wide-area file movement
+//! (§3.4, *Data replication service*). Neither exists in this environment,
+//! so this crate provides behaviour-equivalent substitutes:
+//!
+//! * [`ReplicaService`] — an RLS in the Giggle mould: per-site local
+//!   replica catalogs plus a global index, with **batched** lookups
+//!   (SPHINX "clubs all its requests in a single call to the RLS server").
+//! * [`SiteStore`] — per-site storage with a capacity, enforcing the disk
+//!   side of the paper's usage-quota discussion.
+//! * [`TransferModel`] — a GridFTP-equivalent cost model: per-site
+//!   bandwidth, wide-area latency and contention between concurrent
+//!   transfers determine how long staging a file takes.
+//!
+//! It also owns the base identifiers shared by every layer above it:
+//! [`LogicalFile`], [`FileSpec`] and [`SiteId`].
+
+pub mod file;
+pub mod rls;
+pub mod store;
+pub mod transfer;
+
+pub use file::{FileSpec, LogicalFile, SiteId};
+pub use rls::{ReplicaService, RlsStats};
+pub use store::{SiteStore, StoreError};
+pub use transfer::{TransferModel, TransferTracker};

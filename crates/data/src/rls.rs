@@ -1,0 +1,251 @@
+//! Replica Location Service.
+//!
+//! Modelled on Globus RLS/Giggle: each site keeps a Local Replica Catalog
+//! (LRC) of the files it physically stores; a Replica Location Index (RLI)
+//! maps every logical file to the set of sites holding a replica. SPHINX
+//! performs **batched** lookups — "SPHINX makes efficient use of the RLS by
+//! clubbing all its requests in a single call to the RLS server" (§3.4) —
+//! so the service counts round-trips separately from individual lookups,
+//! letting the benchmarks quantify the batching win.
+
+use crate::file::{LogicalFile, SiteId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Round-trip and lookup counters (instrumentation for the RLS bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RlsStats {
+    /// Individual file resolutions performed.
+    pub lookups: u64,
+    /// Service round-trips (a batched call is one round-trip).
+    pub round_trips: u64,
+    /// Replicas currently registered.
+    pub replicas: u64,
+}
+
+/// The replica location service: LRCs + RLI.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaService {
+    /// LRC: site → files it stores.
+    by_site: BTreeMap<SiteId, BTreeSet<LogicalFile>>,
+    /// RLI: file → sites storing it.
+    by_file: BTreeMap<LogicalFile, BTreeSet<SiteId>>,
+    stats: RlsStats,
+}
+
+impl ReplicaService {
+    /// An empty service.
+    pub fn new() -> Self {
+        ReplicaService::default()
+    }
+
+    /// Register a replica of `file` at `site`. Idempotent.
+    pub fn register(&mut self, file: LogicalFile, site: SiteId) {
+        let newly_indexed = self.by_file.entry(file.clone()).or_default().insert(site);
+        self.by_site.entry(site).or_default().insert(file);
+        if newly_indexed {
+            self.stats.replicas += 1;
+        }
+    }
+
+    /// Remove the replica of `file` at `site`; returns whether it existed.
+    pub fn unregister(&mut self, file: &LogicalFile, site: SiteId) -> bool {
+        let removed = self
+            .by_file
+            .get_mut(file)
+            .is_some_and(|sites| sites.remove(&site));
+        if removed {
+            if self.by_file[file].is_empty() {
+                self.by_file.remove(file);
+            }
+            if let Some(files) = self.by_site.get_mut(&site) {
+                files.remove(file);
+            }
+            self.stats.replicas -= 1;
+        }
+        removed
+    }
+
+    /// Remove every replica registered at `site` (the site's storage was
+    /// lost). Returns the number of replicas dropped.
+    pub fn drop_site(&mut self, site: SiteId) -> usize {
+        let Some(files) = self.by_site.remove(&site) else {
+            return 0;
+        };
+        let n = files.len();
+        for file in files {
+            if let Some(sites) = self.by_file.get_mut(&file) {
+                sites.remove(&site);
+                if sites.is_empty() {
+                    self.by_file.remove(&file);
+                }
+            }
+        }
+        self.stats.replicas -= n as u64;
+        n
+    }
+
+    /// Locate every replica of one file (one round-trip).
+    pub fn locate(&mut self, file: &LogicalFile) -> Vec<SiteId> {
+        self.stats.lookups += 1;
+        self.stats.round_trips += 1;
+        self.locate_silent(file)
+    }
+
+    /// Locate without touching the counters (internal helper).
+    fn locate_silent(&self, file: &LogicalFile) -> Vec<SiteId> {
+        self.by_file
+            .get(file)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Resolve many files in **one** round-trip (the "clubbed" call).
+    pub fn locate_batch(&mut self, files: &[LogicalFile]) -> Vec<(LogicalFile, Vec<SiteId>)> {
+        self.stats.lookups += files.len() as u64;
+        self.stats.round_trips += 1;
+        files
+            .iter()
+            .map(|f| (f.clone(), self.locate_silent(f)))
+            .collect()
+    }
+
+    /// Existence check for one file (one round-trip).
+    pub fn exists(&mut self, file: &LogicalFile) -> bool {
+        self.stats.lookups += 1;
+        self.stats.round_trips += 1;
+        self.by_file.contains_key(file)
+    }
+
+    /// Batched existence check (one round-trip); used by the DAG reducer.
+    pub fn exists_batch(&mut self, files: &[LogicalFile]) -> Vec<bool> {
+        self.stats.lookups += files.len() as u64;
+        self.stats.round_trips += 1;
+        files.iter().map(|f| self.by_file.contains_key(f)).collect()
+    }
+
+    /// Files registered at a site, in name order.
+    pub fn files_at(&self, site: SiteId) -> Vec<LogicalFile> {
+        self.by_site
+            .get(&site)
+            .map(|f| f.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> RlsStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn f(name: &str) -> LogicalFile {
+        LogicalFile::from(name)
+    }
+
+    #[test]
+    fn register_locate_round_trip() {
+        let mut rls = ReplicaService::new();
+        rls.register(f("a"), SiteId(1));
+        rls.register(f("a"), SiteId(2));
+        rls.register(f("b"), SiteId(1));
+        assert_eq!(rls.locate(&f("a")), vec![SiteId(1), SiteId(2)]);
+        assert_eq!(rls.locate(&f("missing")), Vec::<SiteId>::new());
+        assert!(rls.exists(&f("b")));
+        assert_eq!(rls.files_at(SiteId(1)), vec![f("a"), f("b")]);
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut rls = ReplicaService::new();
+        rls.register(f("a"), SiteId(1));
+        rls.register(f("a"), SiteId(1));
+        assert_eq!(rls.stats().replicas, 1);
+        assert_eq!(rls.locate(&f("a")).len(), 1);
+    }
+
+    #[test]
+    fn unregister_removes_only_that_replica() {
+        let mut rls = ReplicaService::new();
+        rls.register(f("a"), SiteId(1));
+        rls.register(f("a"), SiteId(2));
+        assert!(rls.unregister(&f("a"), SiteId(1)));
+        assert!(!rls.unregister(&f("a"), SiteId(1)));
+        assert_eq!(rls.locate(&f("a")), vec![SiteId(2)]);
+        assert_eq!(rls.stats().replicas, 1);
+    }
+
+    #[test]
+    fn drop_site_clears_everything_there() {
+        let mut rls = ReplicaService::new();
+        rls.register(f("a"), SiteId(1));
+        rls.register(f("b"), SiteId(1));
+        rls.register(f("a"), SiteId(2));
+        assert_eq!(rls.drop_site(SiteId(1)), 2);
+        assert!(!rls.exists(&f("b")));
+        assert_eq!(rls.locate(&f("a")), vec![SiteId(2)]);
+        assert_eq!(rls.drop_site(SiteId(9)), 0);
+    }
+
+    #[test]
+    fn batched_lookup_is_one_round_trip() {
+        let mut rls = ReplicaService::new();
+        for i in 0..10 {
+            rls.register(f(&format!("f{i}")), SiteId(i));
+        }
+        let files: Vec<LogicalFile> = (0..10).map(|i| f(&format!("f{i}"))).collect();
+        let results = rls.locate_batch(&files);
+        assert_eq!(results.len(), 10);
+        assert_eq!(rls.stats().round_trips, 1);
+        assert_eq!(rls.stats().lookups, 10);
+        // The unbatched equivalent costs ten round-trips.
+        let mut rls2 = ReplicaService::new();
+        for file in &files {
+            rls2.locate(file);
+        }
+        assert_eq!(rls2.stats().round_trips, 10);
+    }
+
+    #[test]
+    fn exists_batch_matches_individual_exists() {
+        let mut rls = ReplicaService::new();
+        rls.register(f("x"), SiteId(0));
+        let probe = vec![f("x"), f("y")];
+        assert_eq!(rls.exists_batch(&probe), vec![true, false]);
+    }
+
+    proptest! {
+        /// RLI and LRC views stay consistent under arbitrary operations.
+        #[test]
+        fn prop_index_consistency(ops in proptest::collection::vec((0u8..3, 0u32..8, 0u32..4), 0..200)) {
+            let mut rls = ReplicaService::new();
+            for (op, file_i, site_i) in ops {
+                let file = f(&format!("f{file_i}"));
+                let site = SiteId(site_i);
+                match op {
+                    0 | 1 => rls.register(file, site),
+                    _ => { rls.unregister(&file, site); }
+                }
+            }
+            // Every (site, file) in LRCs appears in the RLI and vice versa.
+            let mut count = 0u64;
+            for (&site, files) in &rls.by_site {
+                for file in files {
+                    prop_assert!(rls.by_file[file].contains(&site));
+                }
+            }
+            for (file, sites) in &rls.by_file {
+                prop_assert!(!sites.is_empty(), "empty entry not pruned");
+                for &site in sites {
+                    prop_assert!(rls.by_site[&site].contains(file));
+                    count += 1;
+                }
+            }
+            prop_assert_eq!(count, rls.stats().replicas);
+        }
+    }
+}

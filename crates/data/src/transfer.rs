@@ -1,0 +1,250 @@
+//! Wide-area transfer model (the GridFTP substitute).
+//!
+//! The paper's jobs "take two or three input files … including the time to
+//! transfer remotely located input files onto the site it is expected that
+//! each job will take about three or four minutes" (§4.2) — i.e. staging
+//! costs are the same order as compute. The model here captures what
+//! matters for scheduling: per-site access bandwidth, a wide-area latency
+//! floor, and slowdown when many transfers share a site's access link.
+
+use crate::file::SiteId;
+use serde::{Deserialize, Serialize};
+use sphinx_sim::Duration;
+use std::collections::BTreeMap;
+
+/// Static transfer-cost parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// Access-link bandwidth per site, MB/s. Sites absent from the map use
+    /// `default_bandwidth`.
+    pub site_bandwidth: BTreeMap<SiteId, f64>,
+    /// Bandwidth for sites not explicitly configured, MB/s.
+    pub default_bandwidth: f64,
+    /// Fixed wide-area setup cost per transfer (GSI handshake, control
+    /// channel, etc.).
+    pub latency: Duration,
+}
+
+impl Default for TransferModel {
+    fn default() -> Self {
+        TransferModel {
+            site_bandwidth: BTreeMap::new(),
+            // 2004-era Grid3 sites: fast Ethernet to low gigabit WAN paths.
+            default_bandwidth: 10.0,
+            latency: Duration::from_secs(5),
+        }
+    }
+}
+
+impl TransferModel {
+    /// A model where every site has the same access bandwidth.
+    pub fn uniform(bandwidth_mb_s: f64, latency: Duration) -> Self {
+        TransferModel {
+            site_bandwidth: BTreeMap::new(),
+            default_bandwidth: bandwidth_mb_s,
+            latency,
+        }
+    }
+
+    /// Set one site's access bandwidth.
+    pub fn set_bandwidth(&mut self, site: SiteId, mb_s: f64) {
+        self.site_bandwidth.insert(site, mb_s);
+    }
+
+    /// The access bandwidth of a site.
+    pub fn bandwidth(&self, site: SiteId) -> f64 {
+        self.site_bandwidth
+            .get(&site)
+            .copied()
+            .unwrap_or(self.default_bandwidth)
+    }
+
+    /// Duration of a transfer of `size_mb` from `src` to `dst` given the
+    /// number of other transfers concurrently using each endpoint
+    /// (`src_active`, `dst_active`, **not** counting this one).
+    ///
+    /// The bottleneck link's bandwidth is divided fairly among its
+    /// concurrent transfers. Local (same-site) "transfers" cost nothing:
+    /// the file is already on the site's storage element.
+    pub fn duration(
+        &self,
+        src: SiteId,
+        dst: SiteId,
+        size_mb: u64,
+        src_active: usize,
+        dst_active: usize,
+    ) -> Duration {
+        if src == dst {
+            return Duration::ZERO;
+        }
+        let src_bw = self.bandwidth(src) / (src_active + 1) as f64;
+        let dst_bw = self.bandwidth(dst) / (dst_active + 1) as f64;
+        let bw = src_bw.min(dst_bw).max(f64::MIN_POSITIVE);
+        self.latency + Duration::from_secs_f64(size_mb as f64 / bw)
+    }
+}
+
+/// Tracks in-flight transfers per site so contention can be applied.
+///
+/// This is a fluid approximation: a transfer's duration is fixed from the
+/// contention at its start (rather than re-computed as contention changes),
+/// which keeps the event count linear in transfers while still penalising
+/// hot-spot sites — the effect the scheduling experiments need.
+#[derive(Debug, Clone, Default)]
+pub struct TransferTracker {
+    active: BTreeMap<SiteId, usize>,
+    started_total: u64,
+    completed_total: u64,
+}
+
+impl TransferTracker {
+    /// No transfers in flight.
+    pub fn new() -> Self {
+        TransferTracker::default()
+    }
+
+    /// Number of in-flight transfers touching `site`.
+    pub fn active_at(&self, site: SiteId) -> usize {
+        self.active.get(&site).copied().unwrap_or(0)
+    }
+
+    /// Begin a transfer; returns its duration under current contention.
+    pub fn begin(
+        &mut self,
+        model: &TransferModel,
+        src: SiteId,
+        dst: SiteId,
+        size_mb: u64,
+    ) -> Duration {
+        let d = model.duration(src, dst, size_mb, self.active_at(src), self.active_at(dst));
+        if src != dst {
+            *self.active.entry(src).or_default() += 1;
+            *self.active.entry(dst).or_default() += 1;
+            self.started_total += 1;
+        }
+        d
+    }
+
+    /// A transfer between `src` and `dst` finished.
+    pub fn end(&mut self, src: SiteId, dst: SiteId) {
+        if src == dst {
+            return;
+        }
+        for site in [src, dst] {
+            if let Some(n) = self.active.get_mut(&site) {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    self.active.remove(&site);
+                }
+            }
+        }
+        self.completed_total += 1;
+    }
+
+    /// Transfers started over this tracker's lifetime.
+    pub fn started_total(&self) -> u64 {
+        self.started_total
+    }
+
+    /// Transfers completed over this tracker's lifetime.
+    pub fn completed_total(&self) -> u64 {
+        self.completed_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn local_transfer_is_free() {
+        let m = TransferModel::default();
+        assert_eq!(m.duration(SiteId(1), SiteId(1), 500, 0, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_scales_with_size_and_floor_latency() {
+        let m = TransferModel::uniform(10.0, Duration::from_secs(5));
+        // 100 MB at 10 MB/s = 10 s + 5 s latency.
+        let d = m.duration(SiteId(0), SiteId(1), 100, 0, 0);
+        assert_eq!(d, Duration::from_secs(15));
+        // Size 0 still pays the latency.
+        let d0 = m.duration(SiteId(0), SiteId(1), 0, 0, 0);
+        assert_eq!(d0, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn bottleneck_is_slower_endpoint() {
+        let mut m = TransferModel::uniform(100.0, Duration::ZERO);
+        m.set_bandwidth(SiteId(1), 5.0);
+        let d = m.duration(SiteId(0), SiteId(1), 50, 0, 0);
+        assert_eq!(d, Duration::from_secs(10)); // 50 MB / 5 MB/s
+        assert_eq!(m.bandwidth(SiteId(1)), 5.0);
+        assert_eq!(m.bandwidth(SiteId(7)), 100.0);
+    }
+
+    #[test]
+    fn contention_divides_bandwidth() {
+        let m = TransferModel::uniform(10.0, Duration::ZERO);
+        let free = m.duration(SiteId(0), SiteId(1), 100, 0, 0);
+        let busy = m.duration(SiteId(0), SiteId(1), 100, 3, 0);
+        assert_eq!(free, Duration::from_secs(10));
+        assert_eq!(busy, Duration::from_secs(40));
+    }
+
+    #[test]
+    fn tracker_applies_and_releases_contention() {
+        let m = TransferModel::uniform(10.0, Duration::ZERO);
+        let mut t = TransferTracker::new();
+        let d1 = t.begin(&m, SiteId(0), SiteId(1), 100);
+        assert_eq!(d1, Duration::from_secs(10));
+        assert_eq!(t.active_at(SiteId(0)), 1);
+        // Second transfer from the same source sees contention.
+        let d2 = t.begin(&m, SiteId(0), SiteId(2), 100);
+        assert_eq!(d2, Duration::from_secs(20));
+        t.end(SiteId(0), SiteId(1));
+        t.end(SiteId(0), SiteId(2));
+        assert_eq!(t.active_at(SiteId(0)), 0);
+        assert_eq!(t.started_total(), 2);
+        assert_eq!(t.completed_total(), 2);
+    }
+
+    #[test]
+    fn tracker_ignores_local_moves() {
+        let m = TransferModel::default();
+        let mut t = TransferTracker::new();
+        let d = t.begin(&m, SiteId(3), SiteId(3), 100);
+        assert_eq!(d, Duration::ZERO);
+        assert_eq!(t.active_at(SiteId(3)), 0);
+        t.end(SiteId(3), SiteId(3));
+        assert_eq!(t.started_total(), 0);
+    }
+
+    proptest! {
+        /// More contention never speeds a transfer up.
+        #[test]
+        fn prop_contention_monotone(size in 1u64..1000, a in 0usize..10, b in 0usize..10) {
+            let m = TransferModel::default();
+            let base = m.duration(SiteId(0), SiteId(1), size, a, b);
+            let worse = m.duration(SiteId(0), SiteId(1), size, a + 1, b);
+            prop_assert!(worse >= base);
+        }
+
+        /// begin/end pairs always return active counts to zero.
+        #[test]
+        fn prop_tracker_balanced(pairs in proptest::collection::vec((0u32..4, 0u32..4, 1u64..100), 0..50)) {
+            let m = TransferModel::default();
+            let mut t = TransferTracker::new();
+            for &(s, d, mb) in &pairs {
+                t.begin(&m, SiteId(s), SiteId(d), mb);
+            }
+            for &(s, d, _) in &pairs {
+                t.end(SiteId(s), SiteId(d));
+            }
+            for i in 0..4 {
+                prop_assert_eq!(t.active_at(SiteId(i)), 0);
+            }
+        }
+    }
+}

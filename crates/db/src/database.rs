@@ -1,0 +1,533 @@
+//! The table store proper.
+
+use crate::error::DbError;
+use crate::index::Indexes;
+use crate::txn::{LogEntry, Op, Txn};
+use crate::wal::Wal;
+use parking_lot::Mutex;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A row type bound to a named table with a `u64` primary key.
+pub trait Record: Serialize + DeserializeOwned + Clone + Send + 'static {
+    /// Name of the table holding this record type.
+    const TABLE: &'static str;
+    /// Primary key of this row.
+    fn key(&self) -> u64;
+}
+
+/// Per-table statistics (for instrumentation and tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableStats {
+    /// Table name.
+    pub name: String,
+    /// Live rows.
+    pub rows: usize,
+}
+
+pub(crate) type Tables = BTreeMap<String, BTreeMap<u64, serde_json::Value>>;
+
+/// A database: named tables + write-ahead log.
+///
+/// All mutation goes through the WAL before touching the tables, so any
+/// state observable after a crash is replayable from the log.
+pub struct Database {
+    pub(crate) tables: Mutex<Tables>,
+    pub(crate) wal: Mutex<Box<dyn Wal>>,
+    indexes: Mutex<Indexes>,
+    commits: AtomicU64,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.tables.lock().len())
+            .field("commits", &self.commits.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn encode<R: Record>(row: &R) -> Result<serde_json::Value, DbError> {
+    serde_json::to_value(row).map_err(|e| DbError::Codec {
+        table: R::TABLE.to_owned(),
+        message: e.to_string(),
+    })
+}
+
+fn decode<R: Record>(value: &serde_json::Value) -> Result<R, DbError> {
+    serde_json::from_value(value.clone()).map_err(|e| DbError::Codec {
+        table: R::TABLE.to_owned(),
+        message: e.to_string(),
+    })
+}
+
+impl Database {
+    /// A database backed by the given (possibly pre-existing, here empty)
+    /// write-ahead log.
+    pub fn with_wal(wal: Box<dyn Wal>) -> Self {
+        Database {
+            tables: Mutex::new(BTreeMap::new()),
+            wal: Mutex::new(wal),
+            indexes: Mutex::new(Indexes::default()),
+            commits: AtomicU64::new(0),
+        }
+    }
+
+    /// Purely in-memory database (WAL kept in memory; useful when the
+    /// recovery property is not under test).
+    pub fn in_memory() -> Self {
+        Database::with_wal(Box::new(crate::wal::MemWal::shared()))
+    }
+
+    /// Rebuild the committed state from an existing log.
+    ///
+    /// A torn *final* line is treated as an interrupted commit: it is
+    /// dropped AND truncated out of the log (otherwise the next append
+    /// would merge with the torn bytes and corrupt a later recovery). A
+    /// malformed line anywhere else is corruption and fails recovery.
+    pub fn recover(mut wal: Box<dyn Wal>) -> Result<Self, DbError> {
+        let lines = wal.read_all()?;
+        let mut tables: Tables = BTreeMap::new();
+        let last = lines.len().saturating_sub(1);
+        let mut valid = 0usize;
+        for (i, line) in lines.iter().enumerate() {
+            let entry: LogEntry = match serde_json::from_str(line) {
+                Ok(e) => e,
+                Err(err) if i == last => {
+                    // Interrupted final commit: discard, recovery succeeds.
+                    let _ = err;
+                    break;
+                }
+                Err(err) => {
+                    return Err(DbError::Corrupt {
+                        line: i + 1,
+                        message: err.to_string(),
+                    })
+                }
+            };
+            entry.apply(&mut tables);
+            valid = i + 1;
+        }
+        if valid < lines.len() {
+            wal.rewrite(&lines[..valid])?;
+        }
+        Ok(Database {
+            tables: Mutex::new(tables),
+            wal: Mutex::new(wal),
+            indexes: Mutex::new(Indexes::default()),
+            commits: AtomicU64::new(0),
+        })
+    }
+
+    /// Begin a multi-table atomic transaction.
+    pub fn txn(&self) -> Txn<'_> {
+        Txn::new(self)
+    }
+
+    pub(crate) fn commit_ops(&self, ops: Vec<Op>) -> Result<(), DbError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let entry = LogEntry::Txn { ops };
+        let line = serde_json::to_string(&entry).expect("log entry serializes");
+        // WAL first, then tables: the log is the source of truth.
+        self.wal.lock().append(&line)?;
+        let mut tables = self.tables.lock();
+        let mut indexes = self.indexes.lock();
+        if let LogEntry::Txn { ops } = entry {
+            for op in ops {
+                match op {
+                    Op::Put { table, key, row } => {
+                        let t = tables.entry(table.clone()).or_default();
+                        let old = t.get(&key).cloned();
+                        indexes.on_put(&table, key, old.as_ref(), &row);
+                        t.insert(key, row);
+                    }
+                    Op::Del { table, key } => {
+                        if let Some(t) = tables.get_mut(&table) {
+                            let old = t.remove(&key);
+                            indexes.on_delete(&table, key, old.as_ref());
+                        }
+                    }
+                }
+            }
+        }
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Insert a new row; fails on duplicate key.
+    pub fn insert<R: Record>(&self, row: &R) -> Result<(), DbError> {
+        if self.contains::<R>(row.key()) {
+            return Err(DbError::DuplicateKey {
+                table: R::TABLE.to_owned(),
+                key: row.key(),
+            });
+        }
+        self.put(row)
+    }
+
+    /// Insert or overwrite a row.
+    pub fn put<R: Record>(&self, row: &R) -> Result<(), DbError> {
+        let value = encode(row)?;
+        self.commit_ops(vec![Op::Put {
+            table: R::TABLE.to_owned(),
+            key: row.key(),
+            row: value,
+        }])
+    }
+
+    /// Fetch a row by key.
+    pub fn get<R: Record>(&self, key: u64) -> Option<R> {
+        let tables = self.tables.lock();
+        let value = tables.get(R::TABLE)?.get(&key)?;
+        decode(value).ok()
+    }
+
+    /// True if the key exists.
+    pub fn contains<R: Record>(&self, key: u64) -> bool {
+        self.tables
+            .lock()
+            .get(R::TABLE)
+            .is_some_and(|t| t.contains_key(&key))
+    }
+
+    /// Delete a row; returns whether it existed.
+    pub fn delete<R: Record>(&self, key: u64) -> Result<bool, DbError> {
+        let existed = self.contains::<R>(key);
+        if existed {
+            self.commit_ops(vec![Op::Del {
+                table: R::TABLE.to_owned(),
+                key,
+            }])?;
+        }
+        Ok(existed)
+    }
+
+    /// Read-modify-write one row under a single commit. Returns `false` if
+    /// the row does not exist.
+    pub fn update<R: Record>(
+        &self,
+        key: u64,
+        f: impl FnOnce(&mut R),
+    ) -> Result<bool, DbError> {
+        let Some(mut row) = self.get::<R>(key) else {
+            return Ok(false);
+        };
+        f(&mut row);
+        debug_assert_eq!(row.key(), key, "update must not change the key");
+        self.put(&row)?;
+        Ok(true)
+    }
+
+    /// All rows of a table, in key order.
+    pub fn scan<R: Record>(&self) -> Vec<R> {
+        let tables = self.tables.lock();
+        tables
+            .get(R::TABLE)
+            .map(|t| t.values().filter_map(|v| decode(v).ok()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Rows matching a predicate, in key order.
+    pub fn scan_filter<R: Record>(&self, mut pred: impl FnMut(&R) -> bool) -> Vec<R> {
+        let mut rows = self.scan::<R>();
+        rows.retain(|r| pred(r));
+        rows
+    }
+
+    /// Number of rows in a table.
+    pub fn count<R: Record>(&self) -> usize {
+        self.tables
+            .lock()
+            .get(R::TABLE)
+            .map_or(0, |t| t.len())
+    }
+
+    /// Largest key present in the table, if any.
+    pub fn max_key<R: Record>(&self) -> Option<u64> {
+        self.tables
+            .lock()
+            .get(R::TABLE)
+            .and_then(|t| t.keys().next_back().copied())
+    }
+
+    /// Statistics for every non-empty table.
+    pub fn stats(&self) -> Vec<TableStats> {
+        self.tables
+            .lock()
+            .iter()
+            .map(|(name, t)| TableStats {
+                name: name.clone(),
+                rows: t.len(),
+            })
+            .collect()
+    }
+
+    /// Number of committed transactions on this handle.
+    pub fn commit_count(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Register a secondary index over `pointer` (a JSON pointer, e.g.
+    /// `"/state"`) into `R`'s table, built from the current contents and
+    /// maintained on every subsequent commit.
+    pub fn create_index<R: Record>(&self, pointer: &str) {
+        let tables = self.tables.lock();
+        self.indexes.lock().create(R::TABLE, pointer, &tables);
+    }
+
+    /// Rows whose value at `pointer` equals `value`. Uses the secondary
+    /// index when one is registered; otherwise falls back to a filtered
+    /// table scan (same result, O(table) instead of O(result)).
+    pub fn scan_where<R: Record>(&self, pointer: &str, value: &serde_json::Value) -> Vec<R> {
+        let tables = self.tables.lock();
+        let indexes = self.indexes.lock();
+        if indexes.exists(R::TABLE, pointer) {
+            let keys = indexes
+                .lookup(R::TABLE, pointer, value)
+                .unwrap_or_default();
+            let Some(t) = tables.get(R::TABLE) else {
+                return Vec::new();
+            };
+            return keys
+                .into_iter()
+                .filter_map(|k| t.get(&k).and_then(|v| decode(v).ok()))
+                .collect();
+        }
+        tables
+            .get(R::TABLE)
+            .map(|t| {
+                t.values()
+                    .filter(|v| v.pointer(pointer).unwrap_or(&serde_json::Value::Null) == value)
+                    .filter_map(|v| decode(v).ok())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Compact the log to one snapshot entry describing the current state.
+    pub fn checkpoint(&self) -> Result<(), DbError> {
+        let entry = LogEntry::snapshot_of(&self.tables.lock());
+        let line = serde_json::to_string(&entry).expect("snapshot serializes");
+        self.wal.lock().rewrite(&[line])
+    }
+
+    // ---- raw (string-table) access, used by `Queue` ----
+
+    pub(crate) fn raw_put(
+        &self,
+        table: &str,
+        key: u64,
+        row: serde_json::Value,
+    ) -> Result<(), DbError> {
+        self.commit_ops(vec![Op::Put {
+            table: table.to_owned(),
+            key,
+            row,
+        }])
+    }
+
+    pub(crate) fn raw_min_entry(&self, table: &str) -> Option<(u64, serde_json::Value)> {
+        let tables = self.tables.lock();
+        let t = tables.get(table)?;
+        let (&k, v) = t.iter().next()?;
+        Some((k, v.clone()))
+    }
+
+    pub(crate) fn raw_all(&self, table: &str) -> Vec<(u64, serde_json::Value)> {
+        let tables = self.tables.lock();
+        tables
+            .get(table)
+            .map(|t| t.iter().map(|(&k, v)| (k, v.clone())).collect())
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn raw_delete_many(&self, table: &str, keys: &[u64]) -> Result<(), DbError> {
+        let ops: Vec<Op> = keys
+            .iter()
+            .map(|&key| Op::Del {
+                table: table.to_owned(),
+                key,
+            })
+            .collect();
+        self.commit_ops(ops)
+    }
+
+    pub(crate) fn raw_len(&self, table: &str) -> usize {
+        self.tables.lock().get(table).map_or(0, |t| t.len())
+    }
+
+    pub(crate) fn raw_max_key(&self, table: &str) -> Option<u64> {
+        self.tables
+            .lock()
+            .get(table)
+            .and_then(|t| t.keys().next_back().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::MemWal;
+    use serde::Deserialize;
+
+    #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+    struct Item {
+        id: u64,
+        label: String,
+        weight: u32,
+    }
+    impl Record for Item {
+        const TABLE: &'static str = "items";
+        fn key(&self) -> u64 {
+            self.id
+        }
+    }
+
+    fn item(id: u64, label: &str, weight: u32) -> Item {
+        Item {
+            id,
+            label: label.into(),
+            weight,
+        }
+    }
+
+    #[test]
+    fn crud_round_trip() {
+        let db = Database::in_memory();
+        db.insert(&item(1, "a", 10)).unwrap();
+        db.insert(&item(2, "b", 20)).unwrap();
+        assert_eq!(db.get::<Item>(1).unwrap().label, "a");
+        assert_eq!(db.count::<Item>(), 2);
+        assert!(db.contains::<Item>(2));
+        assert!(db.delete::<Item>(1).unwrap());
+        assert!(!db.delete::<Item>(1).unwrap());
+        assert_eq!(db.count::<Item>(), 1);
+    }
+
+    #[test]
+    fn insert_rejects_duplicates_but_put_overwrites() {
+        let db = Database::in_memory();
+        db.insert(&item(1, "a", 1)).unwrap();
+        assert!(matches!(
+            db.insert(&item(1, "again", 2)),
+            Err(DbError::DuplicateKey { key: 1, .. })
+        ));
+        db.put(&item(1, "updated", 3)).unwrap();
+        assert_eq!(db.get::<Item>(1).unwrap().label, "updated");
+    }
+
+    #[test]
+    fn update_in_place() {
+        let db = Database::in_memory();
+        db.insert(&item(5, "x", 1)).unwrap();
+        let hit = db
+            .update::<Item>(5, |r| r.weight += 100)
+            .unwrap();
+        assert!(hit);
+        assert_eq!(db.get::<Item>(5).unwrap().weight, 101);
+        assert!(!db.update::<Item>(99, |_| {}).unwrap());
+    }
+
+    #[test]
+    fn scan_in_key_order_with_filter() {
+        let db = Database::in_memory();
+        for id in [3u64, 1, 2] {
+            db.insert(&item(id, "r", id as u32 * 10)).unwrap();
+        }
+        let all = db.scan::<Item>();
+        assert_eq!(all.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        let heavy = db.scan_filter::<Item>(|r| r.weight >= 20);
+        assert_eq!(heavy.len(), 2);
+        assert_eq!(db.max_key::<Item>(), Some(3));
+    }
+
+    #[test]
+    fn recovery_replays_committed_state() {
+        let wal = MemWal::shared();
+        {
+            let db = Database::with_wal(Box::new(wal.clone()));
+            db.insert(&item(1, "keep", 1)).unwrap();
+            db.insert(&item(2, "drop", 2)).unwrap();
+            db.delete::<Item>(2).unwrap();
+            db.update::<Item>(1, |r| r.label = "kept".into()).unwrap();
+        } // server "crashes"
+        let db = Database::recover(Box::new(wal)).unwrap();
+        assert_eq!(db.count::<Item>(), 1);
+        assert_eq!(db.get::<Item>(1).unwrap().label, "kept");
+    }
+
+    #[test]
+    fn recovery_drops_torn_final_commit() {
+        let wal = MemWal::shared();
+        {
+            let db = Database::with_wal(Box::new(wal.clone()));
+            db.insert(&item(1, "committed", 1)).unwrap();
+            db.insert(&item(2, "torn", 2)).unwrap();
+        }
+        wal.tear_last_line();
+        let db = Database::recover(Box::new(wal)).unwrap();
+        assert_eq!(db.count::<Item>(), 1);
+        assert!(db.get::<Item>(2).is_none());
+    }
+
+    #[test]
+    fn recovery_rejects_mid_log_corruption() {
+        let mut wal = MemWal::shared();
+        wal.append("not json at all").unwrap();
+        {
+            let db = Database::recover(Box::new(wal.clone()));
+            // Single-line log: the bad line is final, so it's dropped —
+            // and truncated out of the log so later appends stay clean.
+            assert!(db.is_ok());
+            assert!(wal.is_empty(), "torn tail truncated at recovery");
+        }
+        // A bad line that is NOT final is real corruption.
+        wal.append("not json at all").unwrap();
+        wal.append("{\"kind\":\"txn\",\"ops\":[]}").unwrap();
+        let err = Database::recover(Box::new(wal)).unwrap_err();
+        assert!(matches!(err, DbError::Corrupt { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_preserves_state() {
+        let wal = MemWal::shared();
+        let db = Database::with_wal(Box::new(wal.clone()));
+        for i in 0..50 {
+            db.put(&item(i, "v", i as u32)).unwrap();
+        }
+        for i in 0..25 {
+            db.delete::<Item>(i).unwrap();
+        }
+        assert!(wal.len() > 50);
+        db.checkpoint().unwrap();
+        assert_eq!(wal.len(), 1);
+        let recovered = Database::recover(Box::new(wal)).unwrap();
+        assert_eq!(recovered.count::<Item>(), 25);
+        assert_eq!(recovered.get::<Item>(30).unwrap().weight, 30);
+    }
+
+    #[test]
+    fn writes_after_checkpoint_survive_recovery() {
+        let wal = MemWal::shared();
+        let db = Database::with_wal(Box::new(wal.clone()));
+        db.insert(&item(1, "pre", 0)).unwrap();
+        db.checkpoint().unwrap();
+        db.insert(&item(2, "post", 0)).unwrap();
+        let recovered = Database::recover(Box::new(wal)).unwrap();
+        assert_eq!(recovered.count::<Item>(), 2);
+    }
+
+    #[test]
+    fn stats_and_commit_count() {
+        let db = Database::in_memory();
+        db.insert(&item(1, "a", 1)).unwrap();
+        db.insert(&item(2, "b", 2)).unwrap();
+        let stats = db.stats();
+        assert_eq!(stats, vec![TableStats { name: "items".into(), rows: 2 }]);
+        assert_eq!(db.commit_count(), 2);
+    }
+}

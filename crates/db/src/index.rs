@@ -1,0 +1,248 @@
+//! Secondary indexes.
+//!
+//! The original SPHINX server leaned on its SQL database's indexes to
+//! find "all jobs in state X" cheaply — the control process "finds a job
+//! in one of the states [and] invokes a corresponding service module"
+//! (§3.2). This module provides the equivalent: an index over a JSON
+//! pointer into each row, maintained incrementally on every commit and
+//! rebuilt automatically on recovery.
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//! use sphinx_db::{Database, Record};
+//!
+//! #[derive(Debug, Clone, Serialize, Deserialize)]
+//! struct Job { id: u64, state: String }
+//! impl Record for Job {
+//!     const TABLE: &'static str = "jobs";
+//!     fn key(&self) -> u64 { self.id }
+//! }
+//!
+//! let db = Database::in_memory();
+//! db.create_index::<Job>("/state");
+//! db.insert(&Job { id: 1, state: "ready".into() }).unwrap();
+//! db.insert(&Job { id: 2, state: "running".into() }).unwrap();
+//! let ready = db.scan_where::<Job>("/state", &serde_json::json!("ready"));
+//! assert_eq!(ready.len(), 1);
+//! ```
+
+use crate::database::Tables;
+use serde_json::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The key an index stores for one row: the canonical JSON encoding of
+/// the value at the indexed pointer (absent fields index under `null`).
+fn index_key(row: &Value, pointer: &str) -> String {
+    row.pointer(pointer)
+        .cloned()
+        .unwrap_or(Value::Null)
+        .to_string()
+}
+
+/// All secondary indexes of one database.
+#[derive(Debug, Default)]
+pub(crate) struct Indexes {
+    /// (table, pointer) → index value → row keys.
+    maps: BTreeMap<(String, String), BTreeMap<String, BTreeSet<u64>>>,
+}
+
+impl Indexes {
+    /// Register an index and build it from the current table contents.
+    pub(crate) fn create(&mut self, table: &str, pointer: &str, tables: &Tables) {
+        let mut map: BTreeMap<String, BTreeSet<u64>> = BTreeMap::new();
+        if let Some(rows) = tables.get(table) {
+            for (&key, row) in rows {
+                map.entry(index_key(row, pointer)).or_default().insert(key);
+            }
+        }
+        self.maps
+            .insert((table.to_owned(), pointer.to_owned()), map);
+    }
+
+    /// True if an index exists for (table, pointer).
+    pub(crate) fn exists(&self, table: &str, pointer: &str) -> bool {
+        self.maps
+            .contains_key(&(table.to_owned(), pointer.to_owned()))
+    }
+
+    /// Row keys whose indexed value equals `value`.
+    pub(crate) fn lookup(&self, table: &str, pointer: &str, value: &Value) -> Option<Vec<u64>> {
+        let map = self.maps.get(&(table.to_owned(), pointer.to_owned()))?;
+        Some(
+            map.get(&value.to_string())
+                .map(|keys| keys.iter().copied().collect())
+                .unwrap_or_default(),
+        )
+    }
+
+    /// Maintain all indexes of `table` for a put of (`key`, `new_row`),
+    /// given the row previously stored under the key (if any).
+    pub(crate) fn on_put(&mut self, table: &str, key: u64, old: Option<&Value>, new: &Value) {
+        for ((t, pointer), map) in self.maps.iter_mut() {
+            if t != table {
+                continue;
+            }
+            if let Some(old) = old {
+                let old_key = index_key(old, pointer);
+                if let Some(set) = map.get_mut(&old_key) {
+                    set.remove(&key);
+                    if set.is_empty() {
+                        map.remove(&old_key);
+                    }
+                }
+            }
+            map.entry(index_key(new, pointer)).or_default().insert(key);
+        }
+    }
+
+    /// Maintain all indexes of `table` for a delete.
+    pub(crate) fn on_delete(&mut self, table: &str, key: u64, old: Option<&Value>) {
+        let Some(old) = old else { return };
+        for ((t, pointer), map) in self.maps.iter_mut() {
+            if t != table {
+                continue;
+            }
+            let old_key = index_key(old, pointer);
+            if let Some(set) = map.get_mut(&old_key) {
+                set.remove(&key);
+                if set.is_empty() {
+                    map.remove(&old_key);
+                }
+            }
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Database, Record};
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+    struct Task {
+        id: u64,
+        state: String,
+        site: Option<u32>,
+    }
+    impl Record for Task {
+        const TABLE: &'static str = "tasks";
+        fn key(&self) -> u64 {
+            self.id
+        }
+    }
+
+    fn task(id: u64, state: &str, site: Option<u32>) -> Task {
+        Task {
+            id,
+            state: state.into(),
+            site,
+        }
+    }
+
+    #[test]
+    fn index_tracks_inserts_updates_deletes() {
+        let db = Database::in_memory();
+        db.create_index::<Task>("/state");
+        db.insert(&task(1, "ready", None)).unwrap();
+        db.insert(&task(2, "ready", None)).unwrap();
+        db.insert(&task(3, "running", Some(4))).unwrap();
+        let ready = db.scan_where::<Task>("/state", &serde_json::json!("ready"));
+        assert_eq!(ready.len(), 2);
+        // Update moves the row between index buckets.
+        db.update::<Task>(1, |t| t.state = "running".into()).unwrap();
+        assert_eq!(
+            db.scan_where::<Task>("/state", &serde_json::json!("ready"))
+                .len(),
+            1
+        );
+        assert_eq!(
+            db.scan_where::<Task>("/state", &serde_json::json!("running"))
+                .len(),
+            2
+        );
+        // Delete removes it from its bucket.
+        db.delete::<Task>(3).unwrap();
+        assert_eq!(
+            db.scan_where::<Task>("/state", &serde_json::json!("running"))
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn index_created_after_data_sees_existing_rows() {
+        let db = Database::in_memory();
+        db.insert(&task(1, "ready", None)).unwrap();
+        db.insert(&task(2, "done", None)).unwrap();
+        db.create_index::<Task>("/state");
+        assert_eq!(
+            db.scan_where::<Task>("/state", &serde_json::json!("done"))
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn unindexed_scan_where_falls_back_to_filtering() {
+        let db = Database::in_memory();
+        db.insert(&task(1, "ready", Some(7))).unwrap();
+        db.insert(&task(2, "ready", Some(8))).unwrap();
+        // No index on /site: still correct, just a table scan.
+        let hits = db.scan_where::<Task>("/site", &serde_json::json!(7));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 1);
+    }
+
+    #[test]
+    fn option_fields_index_under_null() {
+        let db = Database::in_memory();
+        db.create_index::<Task>("/site");
+        db.insert(&task(1, "ready", None)).unwrap();
+        db.insert(&task(2, "ready", Some(3))).unwrap();
+        let unplaced = db.scan_where::<Task>("/site", &Value::Null);
+        assert_eq!(unplaced.len(), 1);
+        assert_eq!(unplaced[0].id, 1);
+    }
+
+    #[test]
+    fn indexes_survive_transactions() {
+        let db = Database::in_memory();
+        db.create_index::<Task>("/state");
+        let mut txn = db.txn();
+        txn.put(&task(1, "a", None)).unwrap();
+        txn.put(&task(2, "b", None)).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(
+            db.scan_where::<Task>("/state", &serde_json::json!("a")).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn index_matches_scan_filter_under_churn() {
+        let db = Database::in_memory();
+        db.create_index::<Task>("/state");
+        let states = ["ready", "running", "done"];
+        for i in 0..60u64 {
+            db.put(&task(i % 20, states[(i % 3) as usize], None)).unwrap();
+            if i % 7 == 0 {
+                let _ = db.delete::<Task>(i % 20);
+            }
+            for s in states {
+                let via_index: Vec<u64> = db
+                    .scan_where::<Task>("/state", &serde_json::json!(s))
+                    .iter()
+                    .map(|t| t.id)
+                    .collect();
+                let via_scan: Vec<u64> = db
+                    .scan_filter::<Task>(|t| t.state == s)
+                    .iter()
+                    .map(|t| t.id)
+                    .collect();
+                assert_eq!(via_index, via_scan, "state {s} at step {i}");
+            }
+        }
+    }
+}

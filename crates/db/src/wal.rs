@@ -1,0 +1,286 @@
+//! Write-ahead log backends.
+//!
+//! The log is a sequence of UTF-8 lines, one committed transaction (or
+//! snapshot) per line. Line-granularity commits give atomicity: a crash can
+//! only ever tear the *final* line, which recovery discards as an
+//! uncommitted transaction.
+
+use crate::error::DbError;
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A write-ahead log backend.
+pub trait Wal: Send {
+    /// Append one committed entry (no trailing newline).
+    fn append(&mut self, line: &str) -> Result<(), DbError>;
+
+    /// Read every line currently in the log, in append order. The final
+    /// line may be torn (interrupted commit); callers must tolerate it.
+    fn read_all(&self) -> Result<Vec<String>, DbError>;
+
+    /// Atomically replace the whole log with the given lines (checkpoint
+    /// compaction).
+    fn rewrite(&mut self, lines: &[String]) -> Result<(), DbError>;
+
+    /// Number of entries appended since this handle was created (for
+    /// instrumentation).
+    fn appended(&self) -> u64;
+}
+
+/// In-memory WAL. Cloning shares the underlying buffer, so a "crashed"
+/// database's log can be handed to a recovering database — which is exactly
+/// how the fault-tolerance experiments simulate server restarts.
+#[derive(Debug, Clone, Default)]
+pub struct MemWal {
+    lines: Arc<Mutex<Vec<String>>>,
+    appended: u64,
+}
+
+impl MemWal {
+    /// A fresh, empty shared log.
+    pub fn shared() -> Self {
+        MemWal::default()
+    }
+
+    /// Simulate a torn final line: truncate the last entry mid-way, as an
+    /// OS crash during a write would. No-op on an empty log.
+    pub fn tear_last_line(&self) {
+        let mut lines = self.lines.lock();
+        if let Some(last) = lines.last_mut() {
+            let keep = last.len() / 2;
+            last.truncate(keep);
+            last.push_str("...TORN");
+        }
+    }
+
+    /// Number of entries currently in the log.
+    pub fn len(&self) -> usize {
+        self.lines.lock().len()
+    }
+
+    /// True if the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lines.lock().is_empty()
+    }
+}
+
+impl Wal for MemWal {
+    fn append(&mut self, line: &str) -> Result<(), DbError> {
+        self.lines.lock().push(line.to_owned());
+        self.appended += 1;
+        Ok(())
+    }
+
+    fn read_all(&self) -> Result<Vec<String>, DbError> {
+        Ok(self.lines.lock().clone())
+    }
+
+    fn rewrite(&mut self, lines: &[String]) -> Result<(), DbError> {
+        *self.lines.lock() = lines.to_vec();
+        Ok(())
+    }
+
+    fn appended(&self) -> u64 {
+        self.appended
+    }
+}
+
+/// File-backed WAL, one JSON line per committed transaction.
+#[derive(Debug)]
+pub struct FileWal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    appended: u64,
+}
+
+impl FileWal {
+    /// Open (creating if absent) the log at `path` for appending.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, DbError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(FileWal {
+            path,
+            writer: BufWriter::new(file),
+            appended: 0,
+        })
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Wal for FileWal {
+    fn append(&mut self, line: &str) -> Result<(), DbError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        // Flush per commit: commit durability is the whole point of a WAL.
+        self.writer.flush()?;
+        self.appended += 1;
+        Ok(())
+    }
+
+    fn read_all(&self) -> Result<Vec<String>, DbError> {
+        let mut content = String::new();
+        File::open(&self.path)?.read_to_string(&mut content)?;
+        Ok(content.lines().map(str::to_owned).collect())
+    }
+
+    fn rewrite(&mut self, lines: &[String]) -> Result<(), DbError> {
+        // Write-then-rename keeps the old log intact if we crash mid-rewrite.
+        let tmp = self.path.with_extension("wal.tmp");
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            for line in lines {
+                w.write_all(line.as_bytes())?;
+                w.write_all(b"\n")?;
+            }
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let file = OpenOptions::new().append(true).open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        Ok(())
+    }
+
+    fn appended(&self) -> u64 {
+        self.appended
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sphinx-db-test-{}-{}.wal", name, std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn memwal_append_and_read() {
+        let mut w = MemWal::shared();
+        w.append("a").unwrap();
+        w.append("b").unwrap();
+        assert_eq!(w.read_all().unwrap(), vec!["a", "b"]);
+        assert_eq!(w.appended(), 2);
+    }
+
+    #[test]
+    fn memwal_clone_shares_buffer() {
+        let mut w = MemWal::shared();
+        let view = w.clone();
+        w.append("x").unwrap();
+        assert_eq!(view.read_all().unwrap(), vec!["x"]);
+        assert_eq!(view.len(), 1);
+        assert!(!view.is_empty());
+    }
+
+    #[test]
+    fn memwal_tear_corrupts_only_last() {
+        let mut w = MemWal::shared();
+        w.append("{\"first\":1}").unwrap();
+        w.append("{\"second\":2}").unwrap();
+        w.tear_last_line();
+        let lines = w.read_all().unwrap();
+        assert_eq!(lines[0], "{\"first\":1}");
+        assert!(lines[1].ends_with("...TORN"));
+    }
+
+    #[test]
+    fn memwal_rewrite_replaces() {
+        let mut w = MemWal::shared();
+        w.append("a").unwrap();
+        w.rewrite(&["z".to_owned()]).unwrap();
+        assert_eq!(w.read_all().unwrap(), vec!["z"]);
+    }
+
+    #[test]
+    fn filewal_round_trip() {
+        let path = temp_path("roundtrip");
+        {
+            let mut w = FileWal::open(&path).unwrap();
+            w.append("one").unwrap();
+            w.append("two").unwrap();
+            assert_eq!(w.appended(), 2);
+        }
+        let w = FileWal::open(&path).unwrap();
+        assert_eq!(w.read_all().unwrap(), vec!["one", "two"]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn filewal_rewrite_compacts() {
+        let path = temp_path("rewrite");
+        let mut w = FileWal::open(&path).unwrap();
+        w.append("a").unwrap();
+        w.append("b").unwrap();
+        w.rewrite(&["snapshot".to_owned()]).unwrap();
+        w.append("c").unwrap();
+        assert_eq!(w.read_all().unwrap(), vec!["snapshot", "c"]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn filewal_end_to_end_database_recovery_with_torn_tail() {
+        use crate::{Database, Record};
+        use serde::{Deserialize, Serialize};
+
+        #[derive(Debug, Clone, Serialize, Deserialize)]
+        struct R {
+            id: u64,
+            v: u32,
+        }
+        impl Record for R {
+            const TABLE: &'static str = "file_rows";
+            fn key(&self) -> u64 {
+                self.id
+            }
+        }
+
+        let path = temp_path("dbrecover");
+        {
+            let wal = FileWal::open(&path).unwrap();
+            let db = Database::with_wal(Box::new(wal));
+            db.insert(&R { id: 1, v: 10 }).unwrap();
+            db.insert(&R { id: 2, v: 20 }).unwrap();
+        }
+        // Tear the final line on disk, as an OS crash mid-write would.
+        let content = std::fs::read_to_string(&path).unwrap();
+        let keep = content.len() - 7;
+        std::fs::write(&path, &content[..keep]).unwrap();
+
+        let wal = FileWal::open(&path).unwrap();
+        let db = Database::recover(Box::new(wal)).unwrap();
+        assert_eq!(db.get::<R>(1).unwrap().v, 10);
+        assert!(db.get::<R>(2).is_none(), "torn commit dropped");
+        // The recovered database keeps appending to the same file.
+        db.insert(&R { id: 3, v: 30 }).unwrap();
+        let wal2 = FileWal::open(&path).unwrap();
+        let db2 = Database::recover(Box::new(wal2)).unwrap();
+        assert_eq!(db2.get::<R>(3).unwrap().v, 30);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn filewal_reopen_appends() {
+        let path = temp_path("reopen");
+        {
+            let mut w = FileWal::open(&path).unwrap();
+            w.append("a").unwrap();
+        }
+        {
+            let mut w = FileWal::open(&path).unwrap();
+            w.append("b").unwrap();
+        }
+        let w = FileWal::open(&path).unwrap();
+        assert_eq!(w.read_all().unwrap(), vec!["a", "b"]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

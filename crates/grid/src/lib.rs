@@ -1,0 +1,34 @@
+//! The Grid3 substrate: a discrete-event simulation of a multi-site
+//! computational grid.
+//!
+//! The paper evaluates SPHINX on Grid3 — "more than 25 sites across the US
+//! and Korea that collectively provide more than 2000 CPUs", shared by "7
+//! different scientific applications" (§4.2). That testbed no longer
+//! exists, so this crate reproduces the *observable behaviour* SPHINX's
+//! scheduling decisions depend on:
+//!
+//! * [`SiteSpec`] — heterogeneous sites: CPU count, relative CPU speed,
+//!   and a storage element.
+//! * [`BatchQueue`] — each site's local FCFS batch scheduler (the
+//!   Condor/PBS stand-in): SPHINX has no control past submission, it can
+//!   only observe queued/running counts and completion times.
+//! * [`BackgroundLoad`] — competing VOs submitting their own jobs, making
+//!   load "dynamic … shared by various organizations" (§2).
+//! * [`FaultProfile`] — the failure modes the paper's fault tolerance
+//!   targets: unplanned downtime (crash/repair cycles), *black-hole* sites
+//!   that accept jobs but never run them, per-job kills, and slow
+//!   submission.
+//! * [`GridSim`] — the event loop tying it together, exposing exactly the
+//!   interface the real SPHINX client had against Condor-G: submit,
+//!   cancel, and asynchronous job-status notifications; plus ground-truth
+//!   site snapshots for the monitoring service to (stalely) report.
+
+pub mod batch;
+pub mod request;
+pub mod sim;
+pub mod site;
+
+pub use batch::{BatchQueue, JobOwner};
+pub use request::{JobHandle, JobRequest, StagedInput};
+pub use sim::{GridSim, HoldReason, Notification, SiteSnapshot};
+pub use site::{BackgroundLoad, Burst, FaultProfile, SiteSpec};

@@ -1,0 +1,245 @@
+//! Static site descriptions: capacity, speed, faults, background load.
+
+use serde::{Deserialize, Serialize};
+use sphinx_data::SiteId;
+use sphinx_sim::Duration;
+
+/// Failure behaviour of one site.
+///
+/// These are the §2 pathologies: "unplanned downtimes", sites where "jobs
+/// might get delayed or even fail to execute", and sites that silently
+/// swallow work (the black hole every production grid of the era had).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Mean time between failures; `None` disables crash/repair cycles.
+    pub mtbf: Option<Duration>,
+    /// Mean time to repair after a crash.
+    pub mttr: Duration,
+    /// The site accepts and queues jobs but never dispatches them.
+    pub black_hole: bool,
+    /// Extra latency between client submission and the job reaching the
+    /// site's queue (slow gatekeeper).
+    pub submit_latency: Duration,
+    /// Probability that a dispatched job is killed by the local system
+    /// partway through (preemption by a site-local user, lost node, …).
+    pub kill_prob: f64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            mtbf: None,
+            mttr: Duration::from_mins(30),
+            black_hole: false,
+            submit_latency: Duration::from_secs(10),
+            kill_prob: 0.0,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// A perfectly healthy site.
+    pub fn healthy() -> Self {
+        FaultProfile::default()
+    }
+
+    /// A site that crashes on average every `mtbf` and takes `mttr` to
+    /// come back.
+    pub fn flaky(mtbf: Duration, mttr: Duration) -> Self {
+        FaultProfile {
+            mtbf: Some(mtbf),
+            mttr,
+            ..FaultProfile::default()
+        }
+    }
+
+    /// A black-hole site: everything submitted sits in its queue forever.
+    pub fn black_hole() -> Self {
+        FaultProfile {
+            black_hole: true,
+            ..FaultProfile::default()
+        }
+    }
+}
+
+/// ON/OFF burst modulation of background arrivals: production campaigns
+/// started and stopped, so real Grid3 load came in waves, not as a
+/// stationary Poisson stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Burst {
+    /// Mean duration of an ON (campaign running) phase.
+    pub on_mean: Duration,
+    /// Mean duration of an OFF (quiet) phase.
+    pub off_mean: Duration,
+    /// Arrival-rate multiplier during OFF phases, in `(0, 1]`.
+    pub off_factor: f64,
+}
+
+impl Burst {
+    /// Hour-scale campaigns with near-silent gaps.
+    pub fn campaigns() -> Self {
+        Burst {
+            on_mean: Duration::from_mins(45),
+            off_mean: Duration::from_mins(30),
+            off_factor: 0.1,
+        }
+    }
+}
+
+/// Background (non-SPHINX) load: the other virtual organizations sharing
+/// the site.
+///
+/// Arrivals are Poisson with the given mean inter-arrival time (optionally
+/// burst-modulated); each background job occupies one CPU for an
+/// exponentially distributed duration. Together they produce the
+/// fluctuating queue lengths and completion times that make static CPU
+/// counts a poor scheduling signal — the core observation of the paper's
+/// Figure 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundLoad {
+    /// Mean inter-arrival time of background jobs; `None` disables
+    /// background load.
+    pub arrival_mean: Option<Duration>,
+    /// Mean runtime of one background job.
+    pub runtime_mean: Duration,
+    /// Optional ON/OFF burst modulation.
+    pub burst: Option<Burst>,
+}
+
+impl Default for BackgroundLoad {
+    fn default() -> Self {
+        BackgroundLoad {
+            arrival_mean: None,
+            runtime_mean: Duration::from_mins(10),
+            burst: None,
+        }
+    }
+}
+
+impl BackgroundLoad {
+    /// No background load.
+    pub fn none() -> Self {
+        BackgroundLoad::default()
+    }
+
+    /// Background load targeting roughly `utilization` of the site's
+    /// `cpus` (an M/M/c sizing: arrival rate = utilization * c / runtime).
+    pub fn utilization(cpus: u32, utilization: f64, runtime_mean: Duration) -> Self {
+        let utilization = utilization.clamp(0.01, 2.0);
+        let arrivals_per_sec =
+            utilization * cpus as f64 / runtime_mean.as_secs_f64().max(1.0);
+        BackgroundLoad {
+            arrival_mean: Some(Duration::from_secs_f64(1.0 / arrivals_per_sec)),
+            runtime_mean,
+            burst: None,
+        }
+    }
+
+    /// Builder-style: add burst modulation.
+    pub fn with_burst(mut self, burst: Burst) -> Self {
+        self.burst = Some(burst);
+        self
+    }
+}
+
+/// Static description of one grid site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// Identity used everywhere else.
+    pub id: SiteId,
+    /// Human-readable name (the paper's Figure 6 uses Grid3 site names
+    /// like `acdc`, `atlas`, `ufloridapg`…).
+    pub name: String,
+    /// Number of worker CPUs.
+    pub cpus: u32,
+    /// Relative CPU speed: a job's runtime is `compute / cpu_speed`.
+    pub cpu_speed: f64,
+    /// Storage element capacity in MB.
+    pub storage_mb: u64,
+    /// Failure behaviour.
+    pub faults: FaultProfile,
+    /// Competing-VO load.
+    pub background: BackgroundLoad,
+}
+
+impl SiteSpec {
+    /// A healthy, idle site with the given shape.
+    pub fn new(id: SiteId, name: impl Into<String>, cpus: u32) -> Self {
+        SiteSpec {
+            id,
+            name: name.into(),
+            cpus,
+            cpu_speed: 1.0,
+            storage_mb: 1_000_000,
+            faults: FaultProfile::healthy(),
+            background: BackgroundLoad::none(),
+        }
+    }
+
+    /// Builder-style: set relative CPU speed.
+    pub fn with_speed(mut self, speed: f64) -> Self {
+        self.cpu_speed = speed;
+        self
+    }
+
+    /// Builder-style: set the fault profile.
+    pub fn with_faults(mut self, faults: FaultProfile) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder-style: set background load.
+    pub fn with_background(mut self, background: BackgroundLoad) -> Self {
+        self.background = background;
+        self
+    }
+
+    /// Builder-style: set storage capacity.
+    pub fn with_storage_mb(mut self, mb: u64) -> Self {
+        self.storage_mb = mb;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let s = SiteSpec::new(SiteId(3), "acdc", 64)
+            .with_speed(1.5)
+            .with_storage_mb(500)
+            .with_faults(FaultProfile::black_hole())
+            .with_background(BackgroundLoad::none());
+        assert_eq!(s.id, SiteId(3));
+        assert_eq!(s.name, "acdc");
+        assert_eq!(s.cpus, 64);
+        assert_eq!(s.cpu_speed, 1.5);
+        assert!(s.faults.black_hole);
+    }
+
+    #[test]
+    fn utilization_sizing() {
+        // 10 CPUs at 50% with 10-minute jobs: one arrival every 2 minutes.
+        let bg = BackgroundLoad::utilization(10, 0.5, Duration::from_mins(10));
+        let mean = bg.arrival_mean.unwrap();
+        assert_eq!(mean, Duration::from_secs(120));
+    }
+
+    #[test]
+    fn utilization_clamps_extremes() {
+        let bg = BackgroundLoad::utilization(4, 99.0, Duration::from_mins(1));
+        assert!(bg.arrival_mean.is_some());
+        let bg0 = BackgroundLoad::utilization(4, 0.0, Duration::from_mins(1));
+        assert!(bg0.arrival_mean.unwrap() > Duration::ZERO);
+    }
+
+    #[test]
+    fn fault_presets() {
+        assert!(FaultProfile::healthy().mtbf.is_none());
+        let flaky = FaultProfile::flaky(Duration::from_mins(60), Duration::from_mins(5));
+        assert_eq!(flaky.mtbf, Some(Duration::from_mins(60)));
+        assert!(!flaky.black_hole);
+    }
+}

@@ -1,0 +1,244 @@
+//! Deterministic event queue.
+//!
+//! A binary-heap priority queue keyed by `(time, sequence)`. The sequence
+//! number is a monotonically increasing insertion counter, which makes
+//! same-instant events fire in insertion order — the property that keeps a
+//! whole-grid simulation reproducible under refactoring.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event that has been scheduled on the queue.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Insertion order; ties on `time` are broken by this.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+// Manual ordering: the heap is a max-heap, so we invert to get
+// earliest-first, and compare only on (time, seq) so the payload needs no
+// ordering of its own.
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smallest (time, seq) is the greatest heap element.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// ```
+/// use sphinx_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(5), "later");
+/// q.push(SimTime::from_secs(1), "sooner");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (SimTime::from_secs(1), "sooner"));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation clock: the fire time of the most recently
+    /// popped event ([`SimTime::ZERO`] before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the simulated past — scheduling behind the
+    /// clock is always a logic error and silently reordering it would make
+    /// runs un-debuggable.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: {time} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, event });
+    }
+
+    /// Remove and return the earliest event, advancing the clock to its
+    /// fire time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let se = self.heap.pop()?;
+        debug_assert!(se.time >= self.now);
+        self.now = se.time;
+        Some((se.time, se.event))
+    }
+
+    /// Fire time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|se| se.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (the insertion counter).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Drop every pending event, keeping the clock where it is.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 'c');
+        q.push(SimTime::from_secs(1), 'a');
+        q.push(SimTime::from_secs(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(7);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10), ());
+        q.push(SimTime::from_secs(4), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(4));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), ());
+        q.pop();
+        q.push(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn interleaved_push_pop_allows_same_instant() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), 1);
+        let (t, _) = q.pop().unwrap();
+        // An event may be scheduled at exactly `now` (zero-delay follow-up).
+        q.push(t, 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn bookkeeping() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::from_secs(1), ());
+        q.push(SimTime::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.scheduled_total(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    proptest! {
+        /// Popping must always yield a non-decreasing time sequence, and
+        /// within one instant, increasing sequence numbers.
+        #[test]
+        fn prop_pop_order_is_sorted(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &ms) in times.iter().enumerate() {
+                q.push(SimTime::from_millis(ms), i);
+            }
+            let mut last_time = SimTime::ZERO;
+            let mut last_idx_at_time: Option<usize> = None;
+            while let Some((t, idx)) = q.pop() {
+                prop_assert!(t >= last_time);
+                if t == last_time {
+                    if let Some(prev) = last_idx_at_time {
+                        prop_assert!(idx > prev, "tie not broken by insertion order");
+                    }
+                } else {
+                    last_time = t;
+                }
+                last_idx_at_time = Some(idx);
+            }
+        }
+
+        /// The queue returns exactly the multiset of events pushed.
+        #[test]
+        fn prop_conservation(times in proptest::collection::vec(0u64..100, 0..100)) {
+            let mut q = EventQueue::new();
+            for (i, &ms) in times.iter().enumerate() {
+                q.push(SimTime::from_millis(ms), i);
+            }
+            let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Seeded randomness with named sub-streams.
+//!
+//! Every experiment owns one root seed. Subsystems (workload generation,
+//! fault injection, background load, monitor noise, strategy tie-breaking)
+//! each derive an independent stream from `(root_seed, label)`, so adding a
+//! random draw to one subsystem never perturbs another — the property that
+//! makes pairwise strategy comparisons on "the same grid" meaningful.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64. A hand-rolled
+//! PRNG (rather than `rand::StdRng`) keeps streams `Clone`-able, bit-stable
+//! across platforms and library versions, and free of non-determinism — the
+//! properties a reproducible discrete-event simulation actually needs.
+
+use crate::time::Duration;
+
+/// A deterministic, cloneable random stream (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: [u64; 4],
+    seed: u64,
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a, used to mix a stream label into the root seed. Stable across
+/// platforms and Rust versions (unlike `DefaultHasher`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl SimRng {
+    /// Root stream for an experiment.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { state, seed }
+    }
+
+    /// The seed this stream was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent child stream named `label`.
+    ///
+    /// Derivation uses only the original seed, never the stream position, so
+    /// consuming draws from the parent does not change what children see.
+    pub fn derive(&self, label: &str) -> SimRng {
+        let child = self.seed ^ fnv1a(label.as_bytes()).rotate_left(17);
+        SimRng::new(child)
+    }
+
+    /// Derive an independent child stream for an indexed entity (e.g. one
+    /// stream per grid site).
+    pub fn derive_indexed(&self, label: &str, index: u64) -> SimRng {
+        let child = self
+            .seed
+            .wrapping_add(index.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            ^ fnv1a(label.as_bytes());
+        SimRng::new(child)
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire).
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(span as u128);
+        let mut l = m as u64;
+        if l < span {
+            let t = span.wrapping_neg() % span;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(span as u128);
+                l = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.uniform() * (hi - lo)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform() < p
+        }
+    }
+
+    /// Exponentially distributed duration with the given mean. Used for
+    /// inter-arrival times of background jobs and fault events.
+    pub fn exp_duration(&mut self, mean: Duration) -> Duration {
+        // Inverse-CDF sampling; (1 - u) avoids ln(0).
+        let u = self.uniform();
+        let secs = -(1.0 - u).ln() * mean.as_secs_f64();
+        Duration::from_secs_f64(secs)
+    }
+
+    /// Duration uniformly jittered in `[mean * (1 - spread), mean * (1 + spread)]`.
+    pub fn jittered(&mut self, mean: Duration, spread: f64) -> Duration {
+        let spread = spread.clamp(0.0, 1.0);
+        let factor = self.range_f64(1.0 - spread, 1.0 + spread + f64::EPSILON);
+        mean.mul_f64(factor)
+    }
+
+    /// Pick one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.range_usize(0, items.len())]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = SimRng::new(11);
+        a.next_u64();
+        a.next_u64();
+        let mut b = a.clone();
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derived_streams_are_independent_of_parent_consumption() {
+        let root = SimRng::new(7);
+        let mut a = root.derive("faults");
+        let mut consumed = root.clone();
+        consumed.uniform();
+        let mut b = consumed.derive("faults");
+        for _ in 0..20 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ_by_label_and_index() {
+        let root = SimRng::new(7);
+        let x: Vec<u64> = {
+            let mut r = root.derive("load");
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        let y: Vec<u64> = {
+            let mut r = root.derive("faults");
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(x, y);
+        let i0: Vec<u64> = {
+            let mut r = root.derive_indexed("site", 0);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        let i1: Vec<u64> = {
+            let mut r = root.derive_indexed("site", 1);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(i0, i1);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn exp_duration_has_roughly_right_mean() {
+        let mut r = SimRng::new(9);
+        let mean = Duration::from_secs(60);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| r.exp_duration(mean).as_secs_f64()).sum();
+        let avg = total / n as f64;
+        assert!((avg - 60.0).abs() < 2.0, "empirical mean {avg}");
+    }
+
+    #[test]
+    fn uniform_covers_unit_interval() {
+        let mut r = SimRng::new(5);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::new(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn choose_empty_panics() {
+        let mut r = SimRng::new(3);
+        let empty: [u8; 0] = [];
+        r.choose(&empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = SimRng::new(3);
+        r.range_u64(5, 5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_range_respects_bounds(seed in 0u64..1000, lo in 0u64..100, width in 1u64..100) {
+            let mut r = SimRng::new(seed);
+            for _ in 0..50 {
+                let v = r.range_u64(lo, lo + width);
+                prop_assert!(v >= lo && v < lo + width);
+            }
+        }
+
+        #[test]
+        fn prop_jitter_within_spread(seed in 0u64..1000, spread in 0.0f64..1.0) {
+            let mut r = SimRng::new(seed);
+            let mean = Duration::from_secs(100);
+            for _ in 0..20 {
+                let d = r.jittered(mean, spread).as_secs_f64();
+                prop_assert!(d >= 100.0 * (1.0 - spread) - 0.01);
+                prop_assert!(d <= 100.0 * (1.0 + spread) + 0.01);
+            }
+        }
+
+        #[test]
+        fn prop_uniform_in_unit_interval(seed in 0u64..1000) {
+            let mut r = SimRng::new(seed);
+            for _ in 0..100 {
+                let u = r.uniform();
+                prop_assert!((0.0..1.0).contains(&u));
+            }
+        }
+
+        #[test]
+        fn prop_range_u64_uniformish(seed in 0u64..200) {
+            // All residues mod 3 should appear within 300 draws of 0..3.
+            let mut r = SimRng::new(seed);
+            let mut seen = [false; 3];
+            for _ in 0..300 {
+                seen[r.range_u64(0, 3) as usize] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Simulation time.
+//!
+//! Time is kept in integer milliseconds. Integers give total ordering without
+//! NaN hazards, cheap hashing, and exact reproducibility across platforms —
+//! all of which floating-point seconds would compromise.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An instant on the simulation clock, in milliseconds since the start of
+/// the run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; useful as an "unset deadline" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Instant `millis` milliseconds after the start of the run.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis)
+    }
+
+    /// Instant `secs` seconds after the start of the run.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1000)
+    }
+
+    /// Milliseconds since the start of the run.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the start of the run, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero if `earlier` is in
+    /// the future.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// `self + dur`, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, dur: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(dur.0))
+    }
+}
+
+impl Duration {
+    /// A zero-length span.
+    pub const ZERO: Duration = Duration(0);
+    /// The longest representable span.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Duration(millis)
+    }
+
+    /// Span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration(secs * 1000)
+    }
+
+    /// Span of `mins` minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        Duration(mins * 60_000)
+    }
+
+    /// Span of fractional seconds, rounded to the nearest millisecond.
+    /// Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Duration(0);
+        }
+        Duration((secs * 1000.0).round() as u64)
+    }
+
+    /// Length in milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Length in seconds, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// `self * factor`, rounding to the nearest millisecond and clamping
+    /// negative factors to zero.
+    pub fn mul_f64(self, factor: f64) -> Duration {
+        Duration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+
+    /// True if this is the zero span.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(3).as_millis(), 3000);
+        assert_eq!(Duration::from_mins(2).as_millis(), 120_000);
+        assert_eq!(Duration::from_secs_f64(1.5).as_millis(), 1500);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10) + Duration::from_secs(5);
+        assert_eq!(t, SimTime::from_secs(15));
+        assert_eq!(t.since(SimTime::from_secs(12)), Duration::from_secs(3));
+        // `since` saturates when the "earlier" time is actually later.
+        assert_eq!(SimTime::ZERO.since(t), Duration::ZERO);
+        assert_eq!(t - Duration::from_secs(20), SimTime::ZERO);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = Duration::from_secs(10);
+        assert_eq!(d.mul_f64(0.5), Duration::from_secs(5));
+        assert_eq!(d.mul_f64(-1.0), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(f64::NAN), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(f64::INFINITY), Duration::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            SimTime::from_secs(5),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(1),
+                SimTime::from_secs(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn saturating_add_caps_at_max() {
+        assert_eq!(SimTime::MAX.saturating_add(Duration::from_secs(1)), SimTime::MAX);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "t=1.500s");
+        assert_eq!(format!("{}", Duration::from_millis(250)), "0.250s");
+    }
+}

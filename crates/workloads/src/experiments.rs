@@ -1,0 +1,466 @@
+//! Parameterised runners for every figure in the paper's evaluation
+//! (§4.3–§4.3.4) plus the beyond-paper ablations listed in DESIGN.md.
+//!
+//! Each runner takes an [`ExperimentParams`] so the integration tests can
+//! run scaled-down versions (10-job DAGs on the small catalog) while the
+//! bench harness runs paper scale (100-job DAGs on the 15-site catalog).
+
+use crate::scenario::{FaultPlan, Scenario, ScenarioBuilder};
+use serde::{Deserialize, Serialize};
+use sphinx_core::{RunReport, StrategyKind};
+use sphinx_db::{Database, MemWal};
+use sphinx_monitor::MonitorConfig;
+use sphinx_policy::Requirement;
+use sphinx_sim::{Duration, SimTime};
+use std::sync::Arc;
+
+/// Scale knobs shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentParams {
+    /// Jobs per DAG (paper: 100).
+    pub jobs_per_dag: u32,
+    /// Root seed.
+    pub seed: u64,
+    /// Use the full 15-site Grid3 catalog (paper) or the small 4-site one
+    /// (tests).
+    pub full_catalog: bool,
+}
+
+impl ExperimentParams {
+    /// Paper scale.
+    pub fn paper(seed: u64) -> Self {
+        ExperimentParams {
+            jobs_per_dag: 100,
+            seed,
+            full_catalog: true,
+        }
+    }
+
+    /// Fast scale for tests.
+    pub fn quick(seed: u64) -> Self {
+        ExperimentParams {
+            jobs_per_dag: 8,
+            seed,
+            full_catalog: false,
+        }
+    }
+
+    /// A fault plan proportionate to the catalog: the paper-like plan on
+    /// the 15-site grid, a single black hole + flaky site on the small one.
+    pub fn fault_plan(&self) -> FaultPlan {
+        if self.full_catalog {
+            FaultPlan::grid3_typical()
+        } else {
+            FaultPlan {
+                black_holes: 1,
+                flaky: 1,
+                ..FaultPlan::default()
+            }
+        }
+    }
+
+    fn base(&self, dags: u32) -> ScenarioBuilder {
+        let sites = if self.full_catalog {
+            crate::grid3::catalog()
+        } else {
+            crate::grid3::catalog_small()
+        };
+        Scenario::builder()
+            .seed(self.seed)
+            .sites(sites)
+            .dags(dags, self.jobs_per_dag)
+            .horizon(Duration::from_secs(72 * 3600))
+    }
+}
+
+/// One labelled run in a comparison series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Configuration label (e.g. `round-robin (no feedback)`).
+    pub label: String,
+    /// The full run report.
+    pub report: RunReport,
+}
+
+// ---------------------------------------------------------------- fig 2
+
+/// Figure 2: round-robin and number-of-CPUs, each with and without
+/// feedback, on a faulty grid. The paper observes feedback-enabled runs
+/// complete DAGs ~20–29 % faster.
+pub fn fig2(params: ExperimentParams) -> Vec<SeriesPoint> {
+    let mut out = Vec::new();
+    for strategy in [StrategyKind::RoundRobin, StrategyKind::NumCpus] {
+        for feedback in [true, false] {
+            let report = params
+                .base(3)
+                .strategy(strategy)
+                .feedback(feedback)
+                .faults(params.fault_plan())
+                .build()
+                .run();
+            let label = format!(
+                "{}{}",
+                strategy.label(),
+                if feedback { "" } else { " (no feedback)" }
+            );
+            out.push(SeriesPoint { label, report });
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------- figs 3/4/5
+
+/// Figures 3–5: the four strategies (all with feedback) at `dags` DAGs ×
+/// `jobs_per_dag` jobs. Figure 3 is 3 DAGs, Figure 4 is 6, Figure 5 is 12.
+pub fn fig345(params: ExperimentParams, dags: u32) -> Vec<SeriesPoint> {
+    StrategyKind::ALL
+        .into_iter()
+        .map(|strategy| {
+            let report = params
+                .base(dags)
+                .strategy(strategy)
+                .feedback(true)
+                .faults(params.fault_plan())
+                .build()
+                .run();
+            SeriesPoint {
+                label: strategy.label().to_owned(),
+                report,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- fig 6
+
+/// Figure 6: the site-wise distribution of completed jobs vs the site's
+/// average completion time, for the completion-time strategy (6a) and the
+/// number-of-CPUs strategy (6b). The paper's claim: under 6a the job count
+/// is inversely related to the site's completion time; under 6b it is not.
+pub fn fig6(params: ExperimentParams) -> Vec<SeriesPoint> {
+    [StrategyKind::CompletionTime, StrategyKind::NumCpus]
+        .into_iter()
+        .map(|strategy| {
+            let report = params
+                .base(12)
+                .strategy(strategy)
+                .feedback(true)
+                .faults(params.fault_plan())
+                .build()
+                .run();
+            SeriesPoint {
+                label: strategy.label().to_owned(),
+                report,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- fig 7
+
+/// Figure 7: the four strategies under per-user resource-usage quotas
+/// (policy-constrained scheduling). The paper's claim: efficiency is
+/// similar to the constraint-free runs.
+pub fn fig7(params: ExperimentParams, quota: Requirement) -> Vec<SeriesPoint> {
+    StrategyKind::ALL
+        .into_iter()
+        .map(|strategy| {
+            let report = params
+                .base(12)
+                .strategy(strategy)
+                .feedback(true)
+                .faults(params.fault_plan())
+                .quota(quota)
+                .build()
+                .run();
+            SeriesPoint {
+                label: format!("{} (policy)", strategy.label()),
+                report,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- fig 8
+
+/// Figure 8: timeout/reschedule counts per strategy on the faulty grid,
+/// including the no-feedback baseline whose count explodes (paper: 2258
+/// vs 125 for the completion-time hybrid).
+pub fn fig8(params: ExperimentParams) -> Vec<SeriesPoint> {
+    let mut out: Vec<SeriesPoint> = StrategyKind::ALL
+        .into_iter()
+        .map(|strategy| {
+            let report = params
+                .base(12)
+                .strategy(strategy)
+                .feedback(true)
+                .faults(params.fault_plan())
+                .build()
+                .run();
+            SeriesPoint {
+                label: strategy.label().to_owned(),
+                report,
+            }
+        })
+        .collect();
+    // The no-feedback baselines keep feeding the black holes for the
+    // whole run (the paper's exploding right-most bar).
+    for strategy in [StrategyKind::NumCpus, StrategyKind::RoundRobin] {
+        let report = params
+            .base(12)
+            .strategy(strategy)
+            .feedback(false)
+            .faults(params.fault_plan())
+            .build()
+            .run();
+        out.push(SeriesPoint {
+            label: format!("{} (no feedback)", strategy.label()),
+            report,
+        });
+    }
+    out
+}
+
+// ----------------------------------------------------------- ablations
+
+/// Staleness ablation: the queue-length strategy under increasingly stale
+/// monitoring (§4.3.2's discussion that extant monitoring data "does not
+/// seem to be very useful").
+pub fn ablate_staleness(params: ExperimentParams) -> Vec<SeriesPoint> {
+    let periods: [(u64, &str); 4] = [
+        (30, "30s updates"),
+        (120, "2m updates"),
+        (600, "10m updates"),
+        (1800, "30m updates"),
+    ];
+    let mut out = Vec::new();
+    // Perfect monitor first.
+    let report = params
+        .base(6)
+        .strategy(StrategyKind::QueueLength)
+        .faults(params.fault_plan())
+        .monitor(MonitorConfig::perfect(Duration::from_secs(15)))
+        .build()
+        .run();
+    out.push(SeriesPoint {
+        label: "perfect monitor".to_owned(),
+        report,
+    });
+    for (secs, label) in periods {
+        let report = params
+            .base(6)
+            .strategy(StrategyKind::QueueLength)
+            .faults(params.fault_plan())
+            .monitor(MonitorConfig {
+                update_period: Duration::from_secs(secs),
+                propagation_delay: Duration::from_secs(30),
+                drop_prob: 0.05,
+                noise: 0.1,
+            })
+            .build()
+            .run();
+        out.push(SeriesPoint {
+            label: label.to_owned(),
+            report,
+        });
+    }
+    out
+}
+
+/// Fault-density ablation: DAG completion per strategy as the number of
+/// black-hole sites grows.
+pub fn ablate_fault_density(params: ExperimentParams, max_holes: u32) -> Vec<SeriesPoint> {
+    let mut out = Vec::new();
+    for holes in 0..=max_holes {
+        for strategy in [StrategyKind::CompletionTime, StrategyKind::RoundRobin] {
+            let report = params
+                .base(3)
+                .strategy(strategy)
+                .faults(FaultPlan {
+                    black_holes: holes,
+                    flaky: 0,
+                    ..FaultPlan::default()
+                })
+                .build()
+                .run();
+            out.push(SeriesPoint {
+                label: format!("{} / {holes} holes", strategy.label()),
+                report,
+            });
+        }
+    }
+    out
+}
+
+/// Bursty-load ablation: the four strategies on the burst-modulated grid
+/// (campaign waves make load even less predictable from static data).
+pub fn ablate_burst(params: ExperimentParams) -> Vec<SeriesPoint> {
+    StrategyKind::ALL
+        .into_iter()
+        .map(|strategy| {
+            let report = Scenario::builder()
+                .seed(params.seed)
+                .sites(if params.full_catalog {
+                    crate::grid3::catalog_bursty()
+                } else {
+                    crate::grid3::catalog_small()
+                })
+                .dags(6, params.jobs_per_dag)
+                .strategy(strategy)
+                .faults(params.fault_plan())
+                .horizon(Duration::from_secs(72 * 3600))
+                .build()
+                .run();
+            SeriesPoint {
+                label: format!("{} (bursty)", strategy.label()),
+                report,
+            }
+        })
+        .collect()
+}
+
+/// QoS extension experiment: half the DAGs carry a tight deadline. The
+/// EDF run plans them first; the baseline ignores deadlines. The metric
+/// is the urgent DAGs' mean completion time (and deadline hit-rate, in
+/// the EDF report).
+pub fn qos(params: ExperimentParams) -> Vec<SeriesPoint> {
+    let dags = 12u32;
+    let urgent = 3u32;
+    let deadline = Duration::from_mins(35);
+    let edf = params
+        .base(dags)
+        .strategy(StrategyKind::CompletionTime)
+        .deadline_last(urgent, deadline)
+        .build()
+        .run();
+    let fifo = params
+        .base(dags)
+        .strategy(StrategyKind::CompletionTime)
+        .build()
+        .run();
+    vec![
+        SeriesPoint {
+            label: "edf (3 urgent dags)".to_owned(),
+            report: edf,
+        },
+        SeriesPoint {
+            label: "fifo baseline".to_owned(),
+            report: fifo,
+        },
+    ]
+}
+
+/// Result of the crash-recovery experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryOutcome {
+    /// Jobs finished before the server crash.
+    pub finished_before_crash: usize,
+    /// The post-recovery report.
+    pub report: RunReport,
+    /// WAL entries replayed at recovery.
+    pub wal_entries: usize,
+}
+
+/// The §3.1 "robust and recoverable" experiment: kill the SPHINX server
+/// (and its tracker) mid-workload, recover a new server from the
+/// write-ahead log against the *still-running* grid, and finish every DAG.
+pub fn recovery(params: ExperimentParams, crash_after: Duration) -> RecoveryOutcome {
+    let scenario = params.base(2).strategy(StrategyKind::CompletionTime).build();
+    let wal = MemWal::shared();
+    let db = Arc::new(Database::with_wal(Box::new(wal.clone())));
+
+    // Build the grid + workload exactly as Scenario::run would, but over
+    // the WAL-backed database.
+    let mut rt = scenario.build_runtime_with_db(Arc::clone(&db));
+    let finished_early = rt.run_until(SimTime::ZERO + crash_after);
+    let finished_before_crash = rt.build_report().jobs_completed;
+    let config = rt.config().clone();
+    let grid = rt.into_grid(); // server + client die here
+
+    let wal_entries = wal.len();
+    let recovered = Arc::new(Database::recover(Box::new(wal)).expect("log replays"));
+    let mut rt2 =
+        sphinx_core::runtime::SphinxRuntime::with_recovered_database(grid, config, recovered);
+    let report = if finished_early {
+        rt2.build_report()
+    } else {
+        rt2.run()
+    };
+    RecoveryOutcome {
+        finished_before_crash,
+        report,
+        wal_entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_quick_shows_feedback_advantage() {
+        let points = fig2(ExperimentParams::quick(1));
+        assert_eq!(points.len(), 4);
+        let with: f64 = points
+            .iter()
+            .filter(|p| !p.label.contains("no feedback"))
+            .map(|p| p.report.avg_dag_completion_secs)
+            .sum::<f64>()
+            / 2.0;
+        let without: f64 = points
+            .iter()
+            .filter(|p| p.label.contains("no feedback"))
+            .map(|p| p.report.avg_dag_completion_secs)
+            .sum::<f64>()
+            / 2.0;
+        assert!(
+            with < without,
+            "feedback should help: with={with:.0}s without={without:.0}s"
+        );
+    }
+
+    #[test]
+    fn fig345_quick_runs_all_strategies() {
+        let points = fig345(ExperimentParams::quick(2), 2);
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!(p.report.finished, "{}: {}", p.label, p.report.summary());
+            assert_eq!(p.report.jobs_completed, 16);
+        }
+    }
+
+    #[test]
+    fn fig8_quick_all_finish_and_hybrid_beats_round_robin() {
+        // The no-feedback-explodes contrast needs paper-scale run lengths
+        // (the bench harness shows it); at quick scale we check the
+        // robust part of the ordering: every run survives the faulty
+        // grid, and the blindly-rotating round-robin pays more timeouts
+        // than the completion-time hybrid, which stops probing dead
+        // sites.
+        let points = fig8(ExperimentParams::quick(3));
+        assert_eq!(points.len(), 6);
+        for p in &points {
+            assert!(p.report.finished, "{}: {}", p.label, p.report.summary());
+        }
+        let hybrid = &points[0];
+        let round_robin = points
+            .iter()
+            .find(|p| p.label == "round-robin")
+            .expect("round-robin point");
+        assert!(
+            round_robin.report.timeouts > hybrid.report.timeouts,
+            "round-robin {} vs hybrid {}",
+            round_robin.report.timeouts,
+            hybrid.report.timeouts
+        );
+    }
+
+    #[test]
+    fn recovery_quick_finishes_everything() {
+        let outcome = recovery(ExperimentParams::quick(4), Duration::from_mins(4));
+        assert!(outcome.report.finished, "{}", outcome.report.summary());
+        assert_eq!(outcome.report.jobs_completed + outcome.report.jobs_eliminated, 16);
+        assert!(outcome.wal_entries > 0);
+    }
+}

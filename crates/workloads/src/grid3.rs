@@ -1,0 +1,147 @@
+//! The simulated Grid3 testbed.
+//!
+//! Site names are the ones visible in the paper's Figure 6 bar charts
+//! (`acdc`, `atlas`, `citgrid3`, …, `uscmstb`). CPU counts, speeds and
+//! background utilisation are plausible Grid3-era values chosen to be
+//! heterogeneous — the scheduling results depend on heterogeneity and
+//! dynamics, not on exact capacities.
+
+use sphinx_data::SiteId;
+use sphinx_grid::{BackgroundLoad, Burst, SiteSpec};
+use sphinx_sim::Duration;
+
+/// One catalog entry: `(name, cpus, relative speed, background utilisation)`.
+// Utilisations are deliberately decorrelated from CPU counts: several of
+// the biggest sites run hot — a few past saturation, with permanently
+// growing backlogs (the paper's "the site with more CPUs might already be
+// overloaded") — while some small sites sit nearly idle. That
+// decorrelation is what separates the strategies — eq. 1 sees only CPU
+// counts and SPHINX's own jobs, not the competing VOs.
+const SITES: [(&str, u32, f64, f64); 15] = [
+    ("acdc", 256, 1.2, 0.96),
+    ("atlas", 128, 1.0, 0.90),
+    ("citgrid3", 64, 0.9, 0.50),
+    ("cluster28", 32, 0.8, 0.40),
+    ("grid3", 192, 1.1, 1.10),
+    ("ll3", 48, 0.9, 0.45),
+    ("mcfarm", 96, 0.8, 1.05),
+    ("nest", 24, 0.7, 0.35),
+    ("spider", 160, 1.3, 0.98),
+    ("spike", 80, 1.0, 0.60),
+    ("tier2-1", 224, 1.4, 0.90),
+    ("tier2b", 112, 1.1, 0.75),
+    ("ufgrid1", 40, 0.8, 0.50),
+    ("ufloridapg", 288, 1.3, 0.80),
+    ("uscmstb", 256, 1.2, 1.08),
+];
+
+/// Mean runtime of competing-VO background jobs (the "7 different
+/// scientific applications" sharing Grid3).
+const BG_RUNTIME: Duration = Duration::from_mins(15);
+
+/// The full 15-site catalog (2000 CPUs total), healthy, with background
+/// load on.
+pub fn catalog() -> Vec<SiteSpec> {
+    catalog_with_background(true)
+}
+
+/// The full catalog, optionally without background load (for ablations).
+pub fn catalog_with_background(background: bool) -> Vec<SiteSpec> {
+    SITES
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, cpus, speed, util))| {
+            let bg = if background {
+                BackgroundLoad::utilization(cpus, util, BG_RUNTIME)
+            } else {
+                BackgroundLoad::none()
+            };
+            SiteSpec::new(SiteId(i as u32), name, cpus)
+                .with_speed(speed)
+                .with_background(bg)
+        })
+        .collect()
+}
+
+/// The full catalog with burst-modulated background load: campaign-scale
+/// ON/OFF waves on every site (the `ablate-burst` experiment's grid).
+pub fn catalog_bursty() -> Vec<SiteSpec> {
+    catalog()
+        .into_iter()
+        .map(|s| {
+            let bg = s.background.clone().with_burst(Burst::campaigns());
+            s.with_background(bg)
+        })
+        .collect()
+}
+
+/// A small 4-site catalog for quickstarts and fast tests.
+pub fn catalog_small() -> Vec<SiteSpec> {
+    vec![
+        SiteSpec::new(SiteId(0), "acdc", 16).with_speed(1.2),
+        SiteSpec::new(SiteId(1), "atlas", 8),
+        SiteSpec::new(SiteId(2), "nest", 4).with_speed(0.7),
+        SiteSpec::new(SiteId(3), "spider", 12).with_speed(1.3),
+    ]
+}
+
+/// Total CPUs in the full catalog.
+pub fn total_cpus() -> u32 {
+    SITES.iter().map(|s| s.1).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_grid3_scale() {
+        let sites = catalog();
+        assert_eq!(sites.len(), 15);
+        assert!(total_cpus() == 2000, "got {}", total_cpus());
+        // Figure 6's site names are present.
+        let names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+        for expected in ["acdc", "atlas", "ufloridapg", "uscmstb", "tier2-1"] {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+        // Ids are dense and unique.
+        for (i, s) in sites.iter().enumerate() {
+            assert_eq!(s.id, SiteId(i as u32));
+        }
+    }
+
+    #[test]
+    fn heterogeneity_is_real() {
+        let sites = catalog();
+        let min_cpu = sites.iter().map(|s| s.cpus).min().unwrap();
+        let max_cpu = sites.iter().map(|s| s.cpus).max().unwrap();
+        assert!(max_cpu >= 10 * min_cpu, "CPU spread too flat");
+        let speeds: Vec<f64> = sites.iter().map(|s| s.cpu_speed).collect();
+        assert!(speeds.iter().cloned().fold(f64::MIN, f64::max) > 1.2);
+        assert!(speeds.iter().cloned().fold(f64::MAX, f64::min) < 0.9);
+    }
+
+    #[test]
+    fn background_toggle() {
+        assert!(catalog()[0].background.arrival_mean.is_some());
+        assert!(catalog_with_background(false)[0]
+            .background
+            .arrival_mean
+            .is_none());
+    }
+
+    #[test]
+    fn bursty_catalog_has_bursts_everywhere() {
+        for s in catalog_bursty() {
+            assert!(s.background.burst.is_some(), "{} missing burst", s.name);
+            assert!(s.background.arrival_mean.is_some());
+        }
+    }
+
+    #[test]
+    fn small_catalog_for_tests() {
+        let sites = catalog_small();
+        assert_eq!(sites.len(), 4);
+        assert!(sites.iter().all(|s| s.background.arrival_mean.is_none()));
+    }
+}

@@ -1,0 +1,17 @@
+//! Grid3 catalog, scenario builder and experiment presets.
+//!
+//! * [`grid3`] — the simulated testbed: the 15 Grid3 site names that
+//!   appear in the paper's Figure 6, with heterogeneous CPU counts,
+//!   speeds and background load summing to 2000+ CPUs (§4.2: "more than
+//!   25 sites … collectively provide more than 2000 CPUs", of which the
+//!   figures show the ~15 that ran jobs).
+//! * [`scenario`] — one-stop experiment assembly: grid + workload +
+//!   SPHINX configuration → [`sphinx_core::RunReport`].
+//! * [`experiments`] — the parameterised runners behind every figure of
+//!   the paper (see DESIGN.md's experiment index).
+
+pub mod experiments;
+pub mod grid3;
+pub mod scenario;
+
+pub use scenario::{FaultPlan, Scenario, ScenarioBuilder};

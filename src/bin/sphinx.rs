@@ -1,0 +1,299 @@
+//! `sphinx` — command-line front end for running scheduling scenarios.
+//!
+//! ```text
+//! sphinx run --dags 3 --jobs 100 --strategy completion-time --seed 42
+//! sphinx run --sites small --strategy round-robin --no-feedback --black-holes 1
+//! sphinx compare --dags 6 --jobs 50 --seed 7
+//! sphinx sites
+//! ```
+//!
+//! `run` executes one scenario and prints (or `--json`-dumps) the report;
+//! `compare` runs all four strategies on the same grid trace; `sites`
+//! lists the built-in Grid3 catalog.
+
+use sphinx::core::strategy::StrategyKind;
+use sphinx::policy::Requirement;
+use sphinx::sim::Duration;
+use sphinx::workloads::{grid3, FaultPlan, Scenario, ScenarioBuilder};
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct RunArgs {
+    config: Option<String>,
+    dags: u32,
+    jobs: u32,
+    seed: u64,
+    strategy: StrategyKind,
+    feedback: bool,
+    small: bool,
+    black_holes: u32,
+    flaky: u32,
+    quota: Option<u64>,
+    timeout_mins: u64,
+    json: bool,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            config: None,
+            dags: 3,
+            jobs: 100,
+            seed: 42,
+            strategy: StrategyKind::CompletionTime,
+            feedback: true,
+            small: false,
+            black_holes: 0,
+            flaky: 0,
+            quota: None,
+            timeout_mins: 30,
+            json: false,
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: sphinx <command> [options]\n\
+     \n\
+     commands:\n\
+       run       run one scenario and print the report\n\
+       compare   run all four strategies on the same grid trace\n\
+       sites     list the built-in Grid3 site catalog\n\
+       template  print a scenario JSON template for --config\n\
+     \n\
+     options (run / compare):\n\
+       --config FILE       load the whole scenario from a JSON file (run only)\n\
+       --dags N            number of DAGs            [3]\n\
+       --jobs N            jobs per DAG              [100]\n\
+       --seed N            experiment seed           [42]\n\
+       --strategy S        completion-time | queue-length | num-cpus | round-robin\n\
+       --no-feedback       disable the reliability feedback\n\
+       --sites small       4-site catalog instead of the 15-site Grid3 one\n\
+       --black-holes N     plant N black-hole sites  [0]\n\
+       --flaky N           plant N crash-prone sites [0]\n\
+       --quota CPUSECS     enable policy mode with this per-site CPU quota\n\
+       --timeout MINS      tracker timeout           [30]\n\
+       --json              emit the full report as JSON\n"
+}
+
+fn parse_strategy(s: &str) -> Option<StrategyKind> {
+    StrategyKind::ALL.into_iter().find(|k| k.label() == s)
+}
+
+fn parse_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut out = RunArgs::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--dags" => out.dags = value("--dags")?.parse().map_err(|e| format!("{e}"))?,
+            "--jobs" => out.jobs = value("--jobs")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => out.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--strategy" => {
+                let v = value("--strategy")?;
+                out.strategy =
+                    parse_strategy(v).ok_or_else(|| format!("unknown strategy `{v}`"))?;
+            }
+            "--no-feedback" => out.feedback = false,
+            "--sites" => {
+                let v = value("--sites")?;
+                match v.as_str() {
+                    "small" => out.small = true,
+                    "grid3" => out.small = false,
+                    other => return Err(format!("unknown catalog `{other}`")),
+                }
+            }
+            "--black-holes" => {
+                out.black_holes = value("--black-holes")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--flaky" => out.flaky = value("--flaky")?.parse().map_err(|e| format!("{e}"))?,
+            "--quota" => {
+                out.quota = Some(value("--quota")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--timeout" => {
+                out.timeout_mins = value("--timeout")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--config" => out.config = Some(value("--config")?.clone()),
+            "--json" => out.json = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+fn builder(args: &RunArgs) -> ScenarioBuilder {
+    let sites = if args.small {
+        grid3::catalog_small()
+    } else {
+        grid3::catalog()
+    };
+    let mut b = Scenario::builder()
+        .seed(args.seed)
+        .sites(sites)
+        .dags(args.dags, args.jobs)
+        .strategy(args.strategy)
+        .feedback(args.feedback)
+        .timeout(Duration::from_mins(args.timeout_mins))
+        .faults(FaultPlan {
+            black_holes: args.black_holes,
+            flaky: args.flaky,
+            ..FaultPlan::default()
+        });
+    if let Some(cpu) = args.quota {
+        b = b.quota(Requirement::new(cpu, 1_000_000));
+    }
+    b
+}
+
+fn cmd_run(args: &RunArgs) -> ExitCode {
+    let scenario = match &args.config {
+        Some(path) => {
+            let json = match std::fs::read_to_string(path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match serde_json::from_str::<Scenario>(&json) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {path} is not a valid scenario: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => builder(args).build(),
+    };
+    let report = scenario.run();
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    } else {
+        println!("{}", report.summary());
+        println!("\nper-site distribution:");
+        for s in &report.sites {
+            println!(
+                "  {:<12} {:>5} completed  {:>4} cancelled  avg {}",
+                s.name,
+                s.completed,
+                s.cancelled,
+                s.avg_completion_secs
+                    .map(|v| format!("{v:.0}s"))
+                    .unwrap_or_else(|| "-".into())
+            );
+        }
+    }
+    if report.finished {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("warning: horizon hit before completion");
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_compare(args: &RunArgs) -> ExitCode {
+    println!(
+        "{:<18} {:>12} {:>10} {:>10} {:>9} {:>6}",
+        "strategy", "avg dag (s)", "exec (s)", "idle (s)", "timeouts", "done"
+    );
+    let mut ok = true;
+    for strategy in StrategyKind::ALL {
+        let mut a = RunArgs { strategy, ..RunArgs::default() };
+        a.dags = args.dags;
+        a.jobs = args.jobs;
+        a.seed = args.seed;
+        a.small = args.small;
+        a.black_holes = args.black_holes;
+        a.flaky = args.flaky;
+        a.feedback = args.feedback;
+        a.timeout_mins = args.timeout_mins;
+        let report = builder(&a).build().run();
+        println!(
+            "{:<18} {:>12.0} {:>10.1} {:>10.1} {:>9} {:>6}",
+            strategy.label(),
+            report.avg_dag_completion_secs,
+            report.avg_exec_secs,
+            report.avg_idle_secs,
+            report.timeouts,
+            if report.finished { "yes" } else { "NO" }
+        );
+        ok &= report.finished;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_sites() -> ExitCode {
+    println!(
+        "{:<14} {:>6} {:>7} {:>12}",
+        "site", "cpus", "speed", "background"
+    );
+    for s in grid3::catalog() {
+        println!(
+            "{:<14} {:>6} {:>7.2} {:>12}",
+            s.name,
+            s.cpus,
+            s.cpu_speed,
+            if s.background.arrival_mean.is_some() {
+                "competing"
+            } else {
+                "idle"
+            }
+        );
+    }
+    println!("total: {} CPUs across 15 sites", grid3::total_cpus());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    match command.as_str() {
+        "run" | "compare" => match parse_args(rest) {
+            Ok(args) => {
+                if command == "run" {
+                    cmd_run(&args)
+                } else {
+                    cmd_compare(&args)
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                eprint!("{}", usage());
+                ExitCode::FAILURE
+            }
+        },
+        "sites" => cmd_sites(),
+        "template" => {
+            let scenario = Scenario::builder()
+                .sites(grid3::catalog_small())
+                .dags(2, 20)
+                .build();
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&scenario).expect("scenario serializes")
+            );
+            ExitCode::SUCCESS
+        }
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown command `{other}`\n");
+            eprint!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # SPHINX
+//!
+//! A fault-tolerant, policy-aware scheduling middleware for dynamic grid
+//! environments — a from-scratch Rust reproduction of *"SPHINX: A
+//! Fault-Tolerant System for Scheduling in Dynamic Grid Environments"*
+//! (In, Avery, Cavanaugh, Chitnis, Kulkarni, Ranka — IPDPS 2005).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`sim`] — deterministic discrete-event simulation kernel.
+//! * [`db`] — transactional table store with write-ahead logging (the
+//!   server's recoverable state substrate).
+//! * [`dag`] — abstract workflow DAGs, generators and reduction.
+//! * [`data`] — replica location service, storage and transfer model.
+//! * [`grid`] — the Grid3-style grid substrate: sites, batch queues,
+//!   background load, fault injection.
+//! * [`monitor`] — monitoring service with propagation latency/staleness.
+//! * [`policy`] — virtual organisations, users, resource-usage quotas.
+//! * [`core`] — SPHINX itself: server state machine, planner strategies,
+//!   client and job tracker.
+//! * [`workloads`] — Grid3 site catalog, workload builders, experiment
+//!   presets for every figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; the short version:
+//!
+//! ```
+//! use sphinx::workloads::{grid3, scenario::Scenario};
+//! use sphinx::core::strategy::StrategyKind;
+//!
+//! let scenario = Scenario::builder()
+//!     .seed(42)
+//!     .sites(grid3::catalog_small())
+//!     .dags(2, 20)
+//!     .strategy(StrategyKind::CompletionTime)
+//!     .build();
+//! let report = scenario.run();
+//! assert_eq!(report.jobs_completed, 40);
+//! ```
+
+pub use sphinx_core as core;
+pub use sphinx_dag as dag;
+pub use sphinx_data as data;
+pub use sphinx_db as db;
+pub use sphinx_grid as grid;
+pub use sphinx_monitor as monitor;
+pub use sphinx_policy as policy;
+pub use sphinx_sim as sim;
+pub use sphinx_workloads as workloads;

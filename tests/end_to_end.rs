@@ -1,0 +1,135 @@
+//! End-to-end integration: the full stack (workload generation → SPHINX
+//! server/client → grid simulation → report) across all crates.
+
+use sphinx::core::strategy::StrategyKind;
+use sphinx::policy::Requirement;
+use sphinx::sim::Duration;
+use sphinx::workloads::experiments::{fig2, fig345, fig7, ExperimentParams};
+use sphinx::workloads::{grid3, FaultPlan, Scenario};
+
+fn quick() -> sphinx::workloads::ScenarioBuilder {
+    Scenario::builder()
+        .sites(grid3::catalog_small())
+        .dags(2, 12)
+        .seed(7)
+        .horizon(Duration::from_secs(24 * 3600))
+}
+
+#[test]
+fn every_strategy_completes_a_healthy_workload() {
+    for strategy in StrategyKind::ALL {
+        let report = quick().strategy(strategy).build().run();
+        assert!(report.finished, "{strategy}: {}", report.summary());
+        assert_eq!(report.jobs_completed, 24, "{strategy}");
+        assert_eq!(report.timeouts, 0, "{strategy} on a healthy grid");
+        // Per-site completions must account for every job.
+        let site_total: u64 = report.sites.iter().map(|s| s.completed).sum();
+        assert_eq!(site_total, 24, "{strategy}");
+    }
+}
+
+#[test]
+fn reports_are_deterministic_per_seed() {
+    let a = quick().build().run();
+    let b = quick().build().run();
+    assert_eq!(a, b, "same seed must reproduce bit-identically");
+    let c = quick().seed(8).build().run();
+    assert_ne!(a, c, "different seed must differ");
+}
+
+#[test]
+fn dag_completion_times_are_internally_consistent() {
+    let report = quick().build().run();
+    assert_eq!(report.dag_completion_secs.len(), report.dags);
+    let mean = report.dag_completion_secs.iter().sum::<f64>()
+        / report.dag_completion_secs.len() as f64;
+    assert!((mean - report.avg_dag_completion_secs).abs() < 1e-6);
+    // No DAG can finish after the run ends or before a job could run.
+    for &secs in &report.dag_completion_secs {
+        assert!(secs > 0.0);
+        assert!(secs <= report.makespan_secs + 1e-6);
+    }
+}
+
+#[test]
+fn feedback_helps_on_a_faulty_grid() {
+    let points = fig2(ExperimentParams::quick(1));
+    let avg = |want_feedback: bool| -> f64 {
+        let sel: Vec<f64> = points
+            .iter()
+            .filter(|p| p.label.contains("no feedback") != want_feedback)
+            .map(|p| p.report.avg_dag_completion_secs)
+            .collect();
+        sel.iter().sum::<f64>() / sel.len() as f64
+    };
+    assert!(
+        avg(true) < avg(false),
+        "feedback {} vs no-feedback {}",
+        avg(true),
+        avg(false)
+    );
+}
+
+#[test]
+fn strategy_comparison_runs_at_all_three_scales() {
+    for dags in [1u32, 2, 3] {
+        let points = fig345(ExperimentParams::quick(2), dags);
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!(p.report.finished, "{} at {dags} dags", p.label);
+            assert_eq!(p.report.jobs_completed as u32, dags * 8, "{}", p.label);
+        }
+    }
+}
+
+#[test]
+fn policy_constrained_runs_match_unconstrained_completion() {
+    // Figure 7's claim: with ample quota, policy filtering costs little.
+    let unconstrained = quick().strategy(StrategyKind::NumCpus).build().run();
+    let constrained = quick()
+        .strategy(StrategyKind::NumCpus)
+        .quota(Requirement::new(100_000_000, 100_000_000))
+        .build()
+        .run();
+    assert!(constrained.finished);
+    assert_eq!(constrained.jobs_completed, unconstrained.jobs_completed);
+    // Within 25 % of the unconstrained completion time.
+    let ratio = constrained.avg_dag_completion_secs / unconstrained.avg_dag_completion_secs;
+    assert!(
+        (0.75..1.25).contains(&ratio),
+        "policy overhead ratio {ratio}"
+    );
+}
+
+#[test]
+fn fig7_runner_produces_policy_reports() {
+    let points = fig7(
+        ExperimentParams::quick(4),
+        Requirement::new(10_000_000, 10_000_000),
+    );
+    assert_eq!(points.len(), 4);
+    for p in &points {
+        assert!(p.report.policy, "{}", p.label);
+        assert!(p.report.finished, "{}: {}", p.label, p.report.summary());
+    }
+}
+
+#[test]
+fn faulty_grid_still_finishes_with_extra_cost() {
+    let healthy = quick().build().run();
+    let faulty = quick()
+        .faults(FaultPlan {
+            black_holes: 1,
+            flaky: 1,
+            ..FaultPlan::default()
+        })
+        .timeout(Duration::from_mins(10))
+        .build()
+        .run();
+    assert!(faulty.finished, "{}", faulty.summary());
+    assert_eq!(faulty.jobs_completed, healthy.jobs_completed);
+    assert!(
+        faulty.reschedules() >= healthy.reschedules(),
+        "faults cannot reduce rescheduling"
+    );
+}

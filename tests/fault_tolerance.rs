@@ -1,0 +1,160 @@
+//! Fault-tolerance integration: site failures, middleware crashes, and
+//! the write-ahead-log recovery path, exercised through the whole stack.
+
+use sphinx::core::runtime::SphinxRuntime;
+use sphinx::core::strategy::StrategyKind;
+use sphinx::db::{Database, MemWal};
+use sphinx::sim::{Duration, SimTime};
+use sphinx::workloads::experiments::{recovery, ExperimentParams};
+use sphinx::workloads::{grid3, FaultPlan, Scenario};
+use std::sync::Arc;
+
+fn faulty() -> sphinx::workloads::ScenarioBuilder {
+    Scenario::builder()
+        .sites(grid3::catalog_small())
+        .dags(2, 10)
+        .seed(21)
+        .timeout(Duration::from_mins(10))
+        .horizon(Duration::from_secs(24 * 3600))
+}
+
+#[test]
+fn black_hole_survived_by_every_strategy() {
+    for strategy in StrategyKind::ALL {
+        let report = faulty()
+            .strategy(strategy)
+            .faults(FaultPlan {
+                black_holes: 1,
+                flaky: 0,
+                ..FaultPlan::default()
+            })
+            .build()
+            .run();
+        assert!(report.finished, "{strategy}: {}", report.summary());
+        assert_eq!(report.jobs_completed, 20, "{strategy}");
+    }
+}
+
+#[test]
+fn crash_prone_sites_cause_holds_not_losses() {
+    let report = faulty()
+        .strategy(StrategyKind::CompletionTime)
+        .faults(FaultPlan {
+            black_holes: 0,
+            flaky: 2,
+            mtbf: Duration::from_mins(20),
+            mttr: Duration::from_mins(10),
+            kill_prob: 0.1,
+        })
+        .build()
+        .run();
+    assert!(report.finished, "{}", report.summary());
+    assert_eq!(report.jobs_completed, 20);
+}
+
+#[test]
+fn recovery_experiment_completes_after_mid_run_crash() {
+    let outcome = recovery(ExperimentParams::quick(5), Duration::from_mins(5));
+    assert!(outcome.report.finished, "{}", outcome.report.summary());
+    assert_eq!(
+        outcome.report.jobs_completed + outcome.report.jobs_eliminated,
+        16
+    );
+    assert!(outcome.wal_entries > 0, "the WAL must have content");
+}
+
+#[test]
+fn recovery_with_torn_final_wal_line_still_completes() {
+    // Crash while a commit was being written: the torn line is dropped,
+    // losing at most that one transaction — which the conservative
+    // replanning then redoes.
+    let scenario = faulty().strategy(StrategyKind::NumCpus).build();
+    let wal = MemWal::shared();
+    let db = Arc::new(Database::with_wal(Box::new(wal.clone())));
+    let mut rt = scenario.build_runtime_with_db(Arc::clone(&db));
+    rt.run_until(SimTime::ZERO + Duration::from_mins(4));
+    let config = rt.config().clone();
+    let grid = rt.into_grid();
+
+    wal.tear_last_line();
+    let recovered = Arc::new(Database::recover(Box::new(wal)).expect("torn tail tolerated"));
+    let mut rt2 = SphinxRuntime::with_recovered_database(grid, config, recovered);
+    let report = rt2.run();
+    assert!(report.finished, "{}", report.summary());
+    assert_eq!(report.jobs_completed + report.jobs_eliminated, 20);
+}
+
+#[test]
+fn double_crash_recovery_still_completes() {
+    // Crash, recover, crash again, recover again.
+    let scenario = faulty().strategy(StrategyKind::CompletionTime).build();
+    let wal = MemWal::shared();
+    let db = Arc::new(Database::with_wal(Box::new(wal.clone())));
+    let mut rt = scenario.build_runtime_with_db(db);
+    rt.run_until(SimTime::ZERO + Duration::from_mins(3));
+    let config = rt.config().clone();
+    let grid = rt.into_grid();
+
+    let db2 = Arc::new(Database::recover(Box::new(wal.clone())).unwrap());
+    let mut rt2 = SphinxRuntime::with_recovered_database(grid, config.clone(), db2);
+    rt2.run_until(SimTime::ZERO + Duration::from_mins(6));
+    let grid2 = rt2.into_grid();
+
+    let db3 = Arc::new(Database::recover(Box::new(wal)).unwrap());
+    let mut rt3 = SphinxRuntime::with_recovered_database(grid2, config, db3);
+    let report = rt3.run();
+    assert!(report.finished, "{}", report.summary());
+    assert_eq!(report.jobs_completed + report.jobs_eliminated, 20);
+}
+
+#[test]
+fn checkpoint_compaction_preserves_recoverability() {
+    let scenario = faulty().build();
+    let wal = MemWal::shared();
+    let db = Arc::new(Database::with_wal(Box::new(wal.clone())));
+    let mut rt = scenario.build_runtime_with_db(Arc::clone(&db));
+    rt.run_until(SimTime::ZERO + Duration::from_mins(4));
+    // Compact the log mid-run, keep going a little, then crash.
+    db.checkpoint().expect("checkpoint succeeds");
+    let entries_after_checkpoint = wal.len();
+    assert_eq!(entries_after_checkpoint, 1, "compacted to one snapshot");
+    rt.run_until(SimTime::ZERO + Duration::from_mins(6));
+    let config = rt.config().clone();
+    let grid = rt.into_grid();
+
+    let recovered = Arc::new(Database::recover(Box::new(wal)).unwrap());
+    let mut rt2 = SphinxRuntime::with_recovered_database(grid, config, recovered);
+    let report = rt2.run();
+    assert!(report.finished, "{}", report.summary());
+}
+
+#[test]
+fn reliability_counts_survive_recovery() {
+    // A site flagged before the crash stays known-bad after recovery via
+    // the persisted site-stats table.
+    let scenario = faulty()
+        .strategy(StrategyKind::RoundRobin)
+        .faults(FaultPlan {
+            black_holes: 1,
+            flaky: 0,
+            ..FaultPlan::default()
+        })
+        .timeout(Duration::from_mins(5))
+        .build();
+    let wal = MemWal::shared();
+    let db = Arc::new(Database::with_wal(Box::new(wal.clone())));
+    let mut rt = scenario.build_runtime_with_db(db);
+    // Run long enough for timeouts on the black hole to be recorded.
+    rt.run_until(SimTime::ZERO + Duration::from_mins(20));
+    let cancelled_before = rt.server().reliability().total_cancelled();
+    let config = rt.config().clone();
+    let grid = rt.into_grid();
+
+    let recovered = Arc::new(Database::recover(Box::new(wal)).unwrap());
+    let rt2 = SphinxRuntime::with_recovered_database(grid, config, recovered);
+    assert_eq!(
+        rt2.server().reliability().total_cancelled(),
+        cancelled_before,
+        "lifetime cancellation counts must survive the crash"
+    );
+}
