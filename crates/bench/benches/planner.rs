@@ -64,48 +64,44 @@ fn bench_plan_cycle(c: &mut Criterion) {
     group.sample_size(20);
     for &jobs in &[50u32, 200] {
         group.throughput(Throughput::Elements(jobs as u64));
-        group.bench_with_input(
-            BenchmarkId::new("ready_jobs", jobs),
-            &jobs,
-            |b, &jobs| {
-                b.iter_with_setup(
-                    || {
-                        // A fresh server with one wide DAG whose roots are
-                        // all ready.
-                        let mut server = SphinxServer::new(
-                            Arc::new(Database::in_memory()),
-                            catalog(),
-                            ServerConfig {
-                                strategy: StrategyKind::CompletionTime,
-                                feedback: true,
-                                policy_enabled: false,
-                                archive_site: None,
-                            },
-                        );
-                        let dag = WorkloadSpec {
-                            shape: sphinx_dag::DagShape::FanOutFanIn { width: jobs - 2 },
-                            ..WorkloadSpec::small(1, jobs)
-                        }
-                        .generate(&SimRng::new(3), 0)
-                        .remove(0);
-                        let mut rls = ReplicaService::new();
-                        for f in dag.external_inputs() {
-                            rls.register(f, SiteId(0));
-                        }
-                        server.submit_dag(&dag, UserId(1), SimTime::ZERO);
-                        (server, rls)
-                    },
-                    |(mut server, mut rls)| {
-                        server.plan_cycle(
-                            SimTime::ZERO,
-                            &mut rls,
-                            &BTreeMap::new(),
-                            &TransferModel::default(),
-                        )
-                    },
-                );
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("ready_jobs", jobs), &jobs, |b, &jobs| {
+            b.iter_with_setup(
+                || {
+                    // A fresh server with one wide DAG whose roots are
+                    // all ready.
+                    let mut server = SphinxServer::new(
+                        Arc::new(Database::in_memory()),
+                        catalog(),
+                        ServerConfig {
+                            strategy: StrategyKind::CompletionTime,
+                            feedback: true,
+                            policy_enabled: false,
+                            archive_site: None,
+                        },
+                    );
+                    let dag = WorkloadSpec {
+                        shape: sphinx_dag::DagShape::FanOutFanIn { width: jobs - 2 },
+                        ..WorkloadSpec::small(1, jobs)
+                    }
+                    .generate(&SimRng::new(3), 0)
+                    .remove(0);
+                    let mut rls = ReplicaService::new();
+                    for f in dag.external_inputs() {
+                        rls.register(f, SiteId(0));
+                    }
+                    server.submit_dag(&dag, UserId(1), SimTime::ZERO);
+                    (server, rls)
+                },
+                |(mut server, mut rls)| {
+                    server.plan_cycle(
+                        SimTime::ZERO,
+                        &mut rls,
+                        &BTreeMap::new(),
+                        &TransferModel::default(),
+                    )
+                },
+            );
+        });
     }
     group.finish();
 }

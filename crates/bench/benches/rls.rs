@@ -26,10 +26,7 @@ fn bench_lookup(c: &mut Criterion) {
     let mut group = c.benchmark_group("rls_lookup");
     group.throughput(Throughput::Elements(batch.len() as u64));
     group.bench_function("clubbed_300", |b| {
-        b.iter_with_setup(
-            || rls.clone(),
-            |mut rls| rls.locate_batch(&batch),
-        );
+        b.iter_with_setup(|| rls.clone(), |mut rls| rls.locate_batch(&batch));
     });
     group.bench_function("individual_300", |b| {
         b.iter_with_setup(
@@ -44,10 +41,7 @@ fn bench_lookup(c: &mut Criterion) {
         );
     });
     group.bench_function("exists_batch_300", |b| {
-        b.iter_with_setup(
-            || rls.clone(),
-            |mut rls| rls.exists_batch(&batch),
-        );
+        b.iter_with_setup(|| rls.clone(), |mut rls| rls.exists_batch(&batch));
     });
     group.finish();
 }

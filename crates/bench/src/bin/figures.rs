@@ -10,15 +10,17 @@
 //! Results are printed as tables and written to `results/<id>.json`.
 
 use sphinx_bench::{
-    aggregate, jobs_vs_speed_correlation, render_site_table, render_table, run_trials, write_json,
-    write_svg, Aggregate,
+    aggregate, jobs_vs_speed_correlation, render_site_table, render_svg_value_bars, render_table,
+    run_trials, write_json, write_svg, Aggregate,
 };
 use sphinx_policy::Requirement;
 use sphinx_sim::Duration;
+use sphinx_telemetry::JsonlSink;
 use sphinx_workloads::experiments::{
-    ablate_burst, ablate_fault_density, ablate_staleness, fig2, fig345, fig6, fig7, fig8, qos, recovery,
-    ExperimentParams, SeriesPoint,
+    ablate_burst, ablate_fault_density, ablate_staleness, fig2, fig345, fig6, fig7, fig8, qos,
+    recovery, ExperimentParams, SeriesPoint,
 };
+use sphinx_workloads::{FaultPlan, Scenario};
 use std::path::PathBuf;
 
 struct Options {
@@ -47,8 +49,19 @@ fn parse_args() -> Options {
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = vec![
-            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "ablate-staleness", "ablate-fault", "ablate-burst", "qos", "recovery",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "ablate-staleness",
+            "ablate-fault",
+            "ablate-burst",
+            "qos",
+            "recovery",
+            "telemetry",
         ]
         .into_iter()
         .map(str::to_owned)
@@ -115,8 +128,10 @@ fn main() {
             "fig6" => {
                 // Figure 6 is per-site structure: single representative
                 // trial, plus the correlation statistic over all trials.
-                let all: Vec<Vec<SeriesPoint>> =
-                    seeds(&opts).iter().map(|&s| fig6(params(&opts, s))).collect();
+                let all: Vec<Vec<SeriesPoint>> = seeds(&opts)
+                    .iter()
+                    .map(|&s| fig6(params(&opts, s)))
+                    .collect();
                 let representative = &all[0];
                 for point in representative {
                     print!(
@@ -168,8 +183,7 @@ fn main() {
                 );
             }
             "ablate-fault" => {
-                let rows =
-                    run_trials(&seeds(&opts), |s| ablate_fault_density(params(&opts, s), 4));
+                let rows = run_trials(&seeds(&opts), |s| ablate_fault_density(params(&opts, s), 4));
                 emit(
                     &opts,
                     "ablate-fault",
@@ -202,14 +216,18 @@ fn main() {
                         p.report.dag_completion_secs[n - 3..].iter().sum::<f64>() / 3.0;
                     println!(
                         "{:24} urgent-dag mean completion {:.0}s, deadlines met {}/{}",
-                        p.label, urgent_mean, p.report.deadlines_met,
+                        p.label,
+                        urgent_mean,
+                        p.report.deadlines_met,
                         p.report.deadlines_met + p.report.deadlines_missed
                     );
                 }
             }
             "recovery" => {
                 let outcome = recovery(params(&opts, 1000), Duration::from_mins(8));
-                println!("\n== Recovery: server crash at t=8min (mid-workload), WAL replay, resume");
+                println!(
+                    "\n== Recovery: server crash at t=8min (mid-workload), WAL replay, resume"
+                );
                 println!(
                     "jobs finished before crash: {}",
                     outcome.finished_before_crash
@@ -223,6 +241,45 @@ fn main() {
                 );
                 println!("summary: {}", outcome.report.summary());
                 write_json(&opts.results_dir, "recovery", &outcome).expect("write results");
+            }
+            "telemetry" => {
+                // One representative faulty-grid run with a JSONL trace
+                // sink attached, plus the FSA dwell-time figure built
+                // from the run report's TelemetrySnapshot.
+                let p = params(&opts, seeds(&opts)[0]);
+                let scenario = Scenario::builder()
+                    .seed(p.seed)
+                    .faults(FaultPlan::grid3_typical())
+                    .dags(3, p.jobs_per_dag)
+                    .build();
+                let mut rt = scenario.build_runtime();
+                std::fs::create_dir_all(&opts.results_dir).expect("results dir");
+                let trace_path = opts.results_dir.join("telemetry_trace.jsonl");
+                let file = std::fs::File::create(&trace_path).expect("trace file");
+                rt.telemetry()
+                    .add_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(file))));
+                let report = rt.run();
+                rt.telemetry().flush_sinks();
+                let snap = &report.telemetry;
+                println!("\n== Telemetry: faulty-grid trace (seed {})", p.seed);
+                println!(
+                    "trace events: {} recorded, {} dropped from the ring (the sink saw all)",
+                    snap.trace_recorded, snap.trace_dropped
+                );
+                for (name, v) in &snap.counters {
+                    println!("{name:<28} {v}");
+                }
+                let dwell: Vec<(String, f64)> = snap
+                    .histograms
+                    .iter()
+                    .filter(|(name, _)| name.starts_with("fsa.dwell_ms."))
+                    .map(|(name, h)| (name["fsa.dwell_ms.".len()..].to_owned(), h.mean() / 1000.0))
+                    .collect();
+                let svg = render_svg_value_bars("Telemetry: mean FSA state dwell time (s)", &dwell);
+                std::fs::write(opts.results_dir.join("telemetry_dwell.svg"), svg)
+                    .expect("write chart");
+                write_json(&opts.results_dir, "telemetry", snap).expect("write results");
+                println!("trace written to {}", trace_path.display());
             }
             other => eprintln!("unknown experiment id `{other}` (skipped)"),
         }

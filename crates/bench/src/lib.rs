@@ -139,14 +139,25 @@ pub fn write_json<T: Serialize>(dir: &Path, id: &str, value: &T) -> std::io::Res
 
 /// Render a horizontal bar chart (SVG) of one metric across
 /// configurations — the visual twin of the paper's bar figures.
-pub fn render_svg_bars(title: &str, rows: &[Aggregate], metric: impl Fn(&Aggregate) -> f64) -> String {
+pub fn render_svg_bars(
+    title: &str,
+    rows: &[Aggregate],
+    metric: impl Fn(&Aggregate) -> f64,
+) -> String {
+    let pairs: Vec<(String, f64)> = rows.iter().map(|r| (r.label.clone(), metric(r))).collect();
+    render_svg_value_bars(title, &pairs)
+}
+
+/// Render a horizontal bar chart from pre-computed `(label, value)` pairs
+/// — used for telemetry metrics that are not per-configuration aggregates.
+pub fn render_svg_value_bars(title: &str, rows: &[(String, f64)]) -> String {
     let width = 760.0;
     let bar_h = 26.0;
     let gap = 10.0;
     let left = 250.0;
     let top = 48.0;
     let height = top + rows.len() as f64 * (bar_h + gap) + 20.0;
-    let max = rows.iter().map(&metric).fold(1e-9, f64::max);
+    let max = rows.iter().map(|r| r.1).fold(1e-9, f64::max);
     let mut svg = String::new();
     svg.push_str(&format!(
         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\"          font-family=\"sans-serif\" font-size=\"13\">\n"
@@ -155,11 +166,11 @@ pub fn render_svg_bars(title: &str, rows: &[Aggregate], metric: impl Fn(&Aggrega
         "<text x=\"16\" y=\"26\" font-size=\"16\" font-weight=\"bold\">{}</text>\n",
         title.replace('&', "&amp;").replace('<', "&lt;")
     ));
-    for (i, r) in rows.iter().enumerate() {
+    for (i, (label, v)) in rows.iter().enumerate() {
         let y = top + i as f64 * (bar_h + gap);
-        let v = metric(r);
+        let v = *v;
         let w = (v / max) * (width - left - 90.0);
-        let label = r.label.replace('&', "&amp;").replace('<', "&lt;");
+        let label = label.replace('&', "&amp;").replace('<', "&lt;");
         svg.push_str(&format!(
             "<text x=\"{:.0}\" y=\"{:.0}\" text-anchor=\"end\">{label}</text>\n",
             left - 8.0,
@@ -182,11 +193,9 @@ pub fn render_svg_bars(title: &str, rows: &[Aggregate], metric: impl Fn(&Aggrega
 /// timeout counts) for one experiment id.
 pub fn write_svg(dir: &Path, id: &str, title: &str, rows: &[Aggregate]) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
-    let svg = render_svg_bars(
-        &format!("{title} — avg DAG completion (s)"),
-        rows,
-        |r| r.avg_dag_secs,
-    );
+    let svg = render_svg_bars(&format!("{title} — avg DAG completion (s)"), rows, |r| {
+        r.avg_dag_secs
+    });
     std::fs::write(dir.join(format!("{id}_avg_dag.svg")), svg)?;
     let svg = render_svg_bars(&format!("{title} — timeouts"), rows, |r| r.timeouts);
     std::fs::write(dir.join(format!("{id}_timeouts.svg")), svg)
@@ -248,6 +257,7 @@ mod tests {
             deadlines_met: 0,
             deadlines_missed: 0,
             sites: vec![],
+            telemetry: Default::default(),
         }
     }
 
@@ -339,7 +349,10 @@ mod tests {
         assert!(svg.contains("alpha"));
         assert!(svg.contains("beta"));
         // Longest bar belongs to the max value.
-        assert!(svg.contains("width=\"420.0\""), "max bar spans the plot: {svg}");
+        assert!(
+            svg.contains("width=\"420.0\""),
+            "max bar spans the plot: {svg}"
+        );
     }
 
     #[test]

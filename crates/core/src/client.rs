@@ -71,7 +71,12 @@ impl SphinxClient {
 
     /// Execute one plan: build the submission file and hand it to the
     /// grid resource management layer.
-    pub fn submit_plan(&mut self, grid: &mut GridSim, plan: &PlanNotice, now: SimTime) -> JobHandle {
+    pub fn submit_plan(
+        &mut self,
+        grid: &mut GridSim,
+        plan: &PlanNotice,
+        now: SimTime,
+    ) -> JobHandle {
         let request = JobRequest {
             tag: plan.job.as_key(),
             compute: plan.compute,
@@ -300,7 +305,9 @@ mod tests {
         let mut c = SphinxClient::new(ClientConfig::default());
         let now = g.now();
         c.submit_plan(&mut g, &plan(0), now);
-        assert!(c.scan_timeouts(&mut g, SimTime::from_secs(29 * 60)).is_empty());
+        assert!(c
+            .scan_timeouts(&mut g, SimTime::from_secs(29 * 60))
+            .is_empty());
         assert_eq!(c.tracked(), 1);
     }
 }

@@ -27,18 +27,18 @@
 
 pub mod client;
 pub mod messages;
-pub mod rpc;
 pub mod prediction;
 pub mod reliability;
 pub mod report;
+pub mod rpc;
 pub mod runtime;
 pub mod server;
 pub mod state;
 pub mod strategy;
 
 pub use client::SphinxClient;
-pub use rpc::ServerHandle;
 pub use report::RunReport;
+pub use rpc::ServerHandle;
 pub use runtime::{RuntimeConfig, SphinxRuntime};
 pub use server::{ServerConfig, SphinxServer};
 pub use strategy::StrategyKind;

@@ -60,6 +60,18 @@ struct SiteHistory {
     last_cancelled: Option<SimTime>,
 }
 
+/// How one recorded outcome changed a site's reliability verdict (for
+/// telemetry: flag/unflag trace events fire exactly on the edges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagTransition {
+    /// The verdict did not change.
+    Unchanged,
+    /// The site just crossed from reliable to flagged.
+    Flagged,
+    /// The site just crossed from flagged back to reliable.
+    Unflagged,
+}
+
 /// The reliability index over all sites.
 #[derive(Debug, Clone)]
 pub struct Reliability {
@@ -110,6 +122,30 @@ impl Reliability {
             h.last_cancelled = Some(now);
         }
         self.push_outcome(site, false);
+    }
+
+    /// Like [`Reliability::record_completed`], but reports whether the
+    /// verdict at `now` crossed an edge.
+    pub fn record_completed_at(&mut self, site: SiteId, now: SimTime) -> FlagTransition {
+        let before = self.is_reliable(site, now);
+        self.record_completed(site);
+        Self::transition(before, self.is_reliable(site, now))
+    }
+
+    /// Like [`Reliability::record_cancelled`], but reports whether the
+    /// verdict at `now` crossed an edge.
+    pub fn record_cancelled_at(&mut self, site: SiteId, now: SimTime) -> FlagTransition {
+        let before = self.is_reliable(site, now);
+        self.record_cancelled(site, now);
+        Self::transition(before, self.is_reliable(site, now))
+    }
+
+    fn transition(before: bool, after: bool) -> FlagTransition {
+        match (before, after) {
+            (true, false) => FlagTransition::Flagged,
+            (false, true) => FlagTransition::Unflagged,
+            _ => FlagTransition::Unchanged,
+        }
     }
 
     /// Restore persisted lifetime counters (recovery path). The recency
@@ -278,6 +314,35 @@ mod tests {
         r.record_cancelled(SiteId(2), T0);
         assert_eq!(r.total_completed(), 2);
         assert_eq!(r.total_cancelled(), 1);
+    }
+
+    #[test]
+    fn flag_transitions_fire_on_edges_only() {
+        let mut r = Reliability::new();
+        // First cancellation: 1 cancelled > 0 completed → edge.
+        assert_eq!(
+            r.record_cancelled_at(SiteId(0), T0),
+            FlagTransition::Flagged
+        );
+        // Second cancellation: already flagged → no edge.
+        assert_eq!(
+            r.record_cancelled_at(SiteId(0), T0),
+            FlagTransition::Unchanged
+        );
+        // Two completions: 2:2 tie → reliable again; the edge fires on
+        // the crossing one only.
+        assert_eq!(
+            r.record_completed_at(SiteId(0), T0),
+            FlagTransition::Unchanged
+        );
+        assert_eq!(
+            r.record_completed_at(SiteId(0), T0),
+            FlagTransition::Unflagged
+        );
+        assert_eq!(
+            r.record_completed_at(SiteId(0), T0),
+            FlagTransition::Unchanged
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use sphinx_data::SiteId;
+use sphinx_telemetry::TelemetrySnapshot;
 
 /// Per-site outcome line (Figure 6's site-wise distribution).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,6 +64,10 @@ pub struct RunReport {
     pub deadlines_missed: usize,
     /// Per-site outcomes (Figure 6).
     pub sites: Vec<SiteOutcome>,
+    /// Metrics gathered across the whole run (counters, dwell-time and
+    /// latency histograms, per-site grid tallies).
+    #[serde(default)]
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl RunReport {
@@ -134,6 +139,7 @@ mod tests {
                     avg_completion_secs: Some(400.0),
                 },
             ],
+            telemetry: TelemetrySnapshot::default(),
         }
     }
 

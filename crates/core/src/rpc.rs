@@ -35,7 +35,10 @@ enum Request {
         deadline: Option<SimTime>,
     },
     /// Tracker reports (the client's message-handling direction).
-    Report { report: StatusReport, now: SimTime },
+    Report {
+        report: StatusReport,
+        now: SimTime,
+    },
     /// Run one planning pass. The replica catalog travels with the call
     /// and back — in the original both sides spoke to the same external
     /// RLS server; here the caller owns it and lends it per call.
@@ -148,13 +151,7 @@ impl ServerHandle {
     }
 
     /// Submit a DAG (optionally with a QoS deadline).
-    pub fn submit_dag(
-        &self,
-        dag: &Dag,
-        user: UserId,
-        now: SimTime,
-        deadline: Option<SimTime>,
-    ) {
+    pub fn submit_dag(&self, dag: &Dag, user: UserId, now: SimTime, deadline: Option<SimTime>) {
         match self.call(Request::SubmitDag {
             dag: Box::new(dag.clone()),
             user,
@@ -335,8 +332,12 @@ mod tests {
         server.add_user(UserId(1), VoId(0), 1);
         server.grant(UserId(1), SiteId(1), Requirement::new(1_000_000, 1_000_000));
         server.submit_dag(&dag, UserId(1), SimTime::ZERO, None);
-        let (plans, _) =
-            server.plan_cycle(SimTime::ZERO, rls, BTreeMap::new(), &TransferModel::default());
+        let (plans, _) = server.plan_cycle(
+            SimTime::ZERO,
+            rls,
+            BTreeMap::new(),
+            &TransferModel::default(),
+        );
         assert!(!plans.is_empty());
         assert!(plans.iter().all(|p| p.site == SiteId(1)));
     }
@@ -352,8 +353,12 @@ mod tests {
             rls.register(f, SiteId(0));
         }
         server.submit_dag(&dag, UserId(1), SimTime::ZERO, None);
-        let (plans, _) =
-            server.plan_cycle(SimTime::ZERO, rls, BTreeMap::new(), &TransferModel::default());
+        let (plans, _) = server.plan_cycle(
+            SimTime::ZERO,
+            rls,
+            BTreeMap::new(),
+            &TransferModel::default(),
+        );
         let victim = &plans[0];
         server.report(
             StatusReport::Cancelled {

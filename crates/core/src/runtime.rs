@@ -30,6 +30,7 @@ use sphinx_grid::{GridSim, Notification};
 use sphinx_monitor::{Monitor, MonitorConfig};
 use sphinx_policy::UserId;
 use sphinx_sim::{Duration, SimTime};
+use sphinx_telemetry::{Telemetry, TelemetryConfig, TraceKind};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -60,6 +61,8 @@ pub struct RuntimeConfig {
     pub horizon: Duration,
     /// Seed for the monitor's randomness (grid has its own seed).
     pub seed: u64,
+    /// Telemetry hub behaviour (trace capacity, wall-clock opt-in).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -75,6 +78,7 @@ impl Default for RuntimeConfig {
             monitor: MonitorConfig::default(),
             horizon: Duration::from_secs(7 * 24 * 3600),
             seed: 0,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -99,7 +103,7 @@ impl SphinxRuntime {
 
     /// Assemble a runtime over a grid with an explicit database (use a
     /// WAL-backed one to run the crash-recovery experiment).
-    pub fn with_database(grid: GridSim, config: RuntimeConfig, db: Arc<Database>) -> Self {
+    pub fn with_database(mut grid: GridSim, config: RuntimeConfig, db: Arc<Database>) -> Self {
         let catalog: Vec<SiteInfo> = grid
             .site_specs()
             .iter()
@@ -110,7 +114,13 @@ impl SphinxRuntime {
             })
             .collect();
         let transfer_model = grid.transfer_model().clone();
-        let server = SphinxServer::new(
+        // One shared hub for every module: server FSA transitions, grid
+        // lifecycle events, monitor sampling, and WAL activity all land in
+        // the same trace, ordered by the single simulation clock.
+        let telemetry = Arc::new(Telemetry::with_config(config.telemetry.clone()));
+        grid.set_telemetry(Arc::clone(&telemetry));
+        db.attach_telemetry(Arc::clone(&telemetry));
+        let mut server = SphinxServer::new(
             Arc::clone(&db),
             catalog,
             ServerConfig {
@@ -120,10 +130,12 @@ impl SphinxRuntime {
                 archive_site: config.archive_site,
             },
         );
+        server.set_telemetry(Arc::clone(&telemetry));
         let client = SphinxClient::new(ClientConfig {
             timeout: config.timeout,
         });
-        let monitor = Monitor::new(config.monitor.clone(), config.seed);
+        let mut monitor = Monitor::new(config.monitor.clone(), config.seed);
+        monitor.set_telemetry(telemetry);
         SphinxRuntime {
             grid,
             monitor,
@@ -161,6 +173,11 @@ impl SphinxRuntime {
         &self.config
     }
 
+    /// The telemetry hub shared by every module of this runtime.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        self.server.telemetry()
+    }
+
     /// Submit a DAG on behalf of a user.
     pub fn submit_dag(&mut self, dag: &Dag, user: UserId) {
         self.server.submit_dag(dag, user, self.grid.now());
@@ -181,7 +198,8 @@ impl SphinxRuntime {
         }
         self.started = true;
         let now = self.grid.now();
-        self.grid.schedule_wakeup(now + self.config.planner_period, TOKEN_PLANNER);
+        self.grid
+            .schedule_wakeup(now + self.config.planner_period, TOKEN_PLANNER);
         self.grid.schedule_wakeup(now, TOKEN_MONITOR);
         self.grid
             .schedule_wakeup(now + self.config.timeout_scan_period, TOKEN_TIMEOUT);
@@ -201,9 +219,23 @@ impl SphinxRuntime {
             .into_iter()
             .map(|r| (r.site, r))
             .collect();
-        let plans = self
+        // Wall-clock timing is opt-in: reading `Instant` inside the sim
+        // path would not change the trace, but keeping it off by default
+        // guarantees the deterministic profile never touches the host
+        // clock at all.
+        let wall_start = self
             .server
-            .plan_cycle(now, self.grid.rls_mut(), &reports, &self.transfer_model);
+            .telemetry()
+            .wall_clock_enabled()
+            .then(std::time::Instant::now);
+        let plans =
+            self.server
+                .plan_cycle(now, self.grid.rls_mut(), &reports, &self.transfer_model);
+        if let Some(start) = wall_start {
+            self.server
+                .telemetry()
+                .observe("wall.plan_cycle_us", start.elapsed().as_micros() as f64);
+        }
         let outbox: Queue<PlanNotice> = Queue::new(&self.db, OUTBOX);
         for plan in &plans {
             outbox.push(plan).expect("outbox writable");
@@ -259,6 +291,9 @@ impl SphinxRuntime {
                 cpus: s.cpus,
             })
             .collect();
+        // The recovered server replaces the one `with_database` built; keep
+        // the shared hub so grid/monitor/db events stay on the same trace.
+        let telemetry = Arc::clone(rt.server.telemetry());
         rt.server = SphinxServer::recover(
             Arc::clone(&rt.db),
             catalog,
@@ -269,6 +304,14 @@ impl SphinxRuntime {
                 archive_site: rt.config.archive_site,
             },
         );
+        telemetry.trace(
+            TraceKind::Recovery,
+            rt.grid.now(),
+            None,
+            None,
+            format!("replayed={}", rt.db.replayed()),
+        );
+        rt.server.set_telemetry(telemetry);
         rt.started = true; // reuse the surviving wakeup chains
         rt
     }
@@ -290,9 +333,15 @@ impl SphinxRuntime {
             let inbox: Queue<StatusReport> = Queue::new(&db, INBOX);
             for n in notifications {
                 match n {
-                    Notification::Wakeup { token: TOKEN_PLANNER } => self.planner_tick(),
-                    Notification::Wakeup { token: TOKEN_MONITOR } => self.monitor_tick(),
-                    Notification::Wakeup { token: TOKEN_TIMEOUT } => self.timeout_tick(),
+                    Notification::Wakeup {
+                        token: TOKEN_PLANNER,
+                    } => self.planner_tick(),
+                    Notification::Wakeup {
+                        token: TOKEN_MONITOR,
+                    } => self.monitor_tick(),
+                    Notification::Wakeup {
+                        token: TOKEN_TIMEOUT,
+                    } => self.timeout_tick(),
                     Notification::Wakeup { .. } => {}
                     other => {
                         if let Some(report) = self.client.on_notification(&other, now) {
@@ -326,9 +375,15 @@ impl SphinxRuntime {
             let inbox: Queue<StatusReport> = Queue::new(&db, INBOX);
             for n in notifications {
                 match n {
-                    Notification::Wakeup { token: TOKEN_PLANNER } => self.planner_tick(),
-                    Notification::Wakeup { token: TOKEN_MONITOR } => self.monitor_tick(),
-                    Notification::Wakeup { token: TOKEN_TIMEOUT } => self.timeout_tick(),
+                    Notification::Wakeup {
+                        token: TOKEN_PLANNER,
+                    } => self.planner_tick(),
+                    Notification::Wakeup {
+                        token: TOKEN_MONITOR,
+                    } => self.monitor_tick(),
+                    Notification::Wakeup {
+                        token: TOKEN_TIMEOUT,
+                    } => self.timeout_tick(),
                     Notification::Wakeup { .. } => {}
                     other => {
                         if let Some(report) = self.client.on_notification(&other, now) {
@@ -430,6 +485,7 @@ impl SphinxRuntime {
             deadlines_met,
             deadlines_missed,
             sites,
+            telemetry: self.server.telemetry_snapshot(),
         }
     }
 }

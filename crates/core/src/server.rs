@@ -15,7 +15,7 @@
 
 use crate::messages::{CancelCause, PlanNotice, StatusReport};
 use crate::prediction::Prediction;
-use crate::reliability::Reliability;
+use crate::reliability::{FlagTransition, Reliability};
 use crate::state::{DagRow, DagState, JobRow, JobState, SiteStatsRow};
 use crate::strategy::{PlanningView, SiteInfo, StrategyKind, StrategyState};
 use sphinx_dag::{reduce, Dag, DagId, Frontier, JobId};
@@ -25,6 +25,7 @@ use sphinx_grid::StagedInput;
 use sphinx_monitor::Report;
 use sphinx_policy::{PolicyEngine, Requirement, UserId};
 use sphinx_sim::SimTime;
+use sphinx_telemetry::{Telemetry, TelemetrySnapshot, TraceKind};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -95,6 +96,8 @@ pub struct SphinxServer {
     stats: ServerStats,
     dags_total: u64,
     dags_finished: u64,
+    telemetry: Arc<Telemetry>,
+    last_plan_at: Option<SimTime>,
 }
 
 impl SphinxServer {
@@ -117,6 +120,46 @@ impl SphinxServer {
             stats: ServerStats::default(),
             dags_total: 0,
             dags_finished: 0,
+            telemetry: Telemetry::shared(),
+            last_plan_at: None,
+        }
+    }
+
+    /// Replace the server's private telemetry hub with a shared one (the
+    /// runtime hands every layer the same hub). Call before submitting
+    /// work; events recorded earlier stay on the old hub.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry hub in use.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Snapshot of every metric recorded so far.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    fn note_flag_transition(&self, transition: FlagTransition, site: SiteId, now: SimTime) {
+        match transition {
+            FlagTransition::Flagged => {
+                self.telemetry.counter_add("reliability.flagged", 1);
+                self.telemetry
+                    .trace(TraceKind::SiteFlagged, now, None, Some(site), String::new());
+            }
+            FlagTransition::Unflagged => {
+                self.telemetry.counter_add("reliability.unflagged", 1);
+                self.telemetry.trace(
+                    TraceKind::SiteUnflagged,
+                    now,
+                    None,
+                    Some(site),
+                    String::new(),
+                );
+            }
+            FlagTransition::Unchanged => {}
         }
     }
 
@@ -131,7 +174,9 @@ impl SphinxServer {
         // Restore tracker-derived statistics.
         for row in server.db.scan::<SiteStatsRow>() {
             let site = SiteId(row.site);
-            server.reliability.restore(site, row.completed, row.cancelled);
+            server
+                .reliability
+                .restore(site, row.completed, row.cancelled);
             server
                 .prediction
                 .restore(site, row.completion_secs_sum, row.completion_samples);
@@ -157,9 +202,10 @@ impl SphinxServer {
                 }
             }
             if dag_row.state == DagState::Running {
-                server
-                    .frontiers
-                    .insert(dag_row.id, Frontier::with_completed(&dag_row.dag, &completed));
+                server.frontiers.insert(
+                    dag_row.id,
+                    Frontier::with_completed(&dag_row.dag, &completed),
+                );
             }
             // `Received` DAGs will be reduced by the next plan cycle.
         }
@@ -228,6 +274,18 @@ impl SphinxServer {
         }
         txn.commit().expect("dag submission commits");
         self.dags_total += 1;
+        self.telemetry.counter_add("dag.submitted", 1);
+        self.telemetry.trace(
+            TraceKind::DagSubmitted,
+            now,
+            None,
+            None,
+            format!("dag={} jobs={}", dag.id.0, dag.jobs.len()),
+        );
+        for job in &dag.jobs {
+            self.telemetry
+                .note_job_state(job.id.as_key(), "unready", now);
+        }
     }
 
     /// True when every submitted DAG reached `Finished`.
@@ -237,10 +295,7 @@ impl SphinxServer {
 
     /// Completion check for one DAG.
     fn maybe_finish_dag(&mut self, dag_id: DagId, now: SimTime) {
-        let finished = self
-            .frontiers
-            .get(&dag_id)
-            .is_some_and(|f| f.is_finished());
+        let finished = self.frontiers.get(&dag_id).is_some_and(|f| f.is_finished());
         if finished {
             self.db
                 .update::<DagRow>(dag_id.0, |d| {
@@ -250,6 +305,14 @@ impl SphinxServer {
                 .expect("dag row exists");
             self.frontiers.remove(&dag_id);
             self.dags_finished += 1;
+            self.telemetry.counter_add("dag.finished", 1);
+            self.telemetry.trace(
+                TraceKind::DagFinished,
+                now,
+                None,
+                None,
+                format!("dag={}", dag_id.0),
+            );
         }
     }
 
@@ -279,23 +342,47 @@ impl SphinxServer {
         let job = report.job();
         let key = job.as_key();
         match report {
-            StatusReport::Queued { .. } => {
+            StatusReport::Queued { site, .. } => {
+                let mut advanced = false;
                 self.db
                     .update::<JobRow>(key, |j| {
                         if j.state == JobState::Submitted {
                             j.state = JobState::Queued;
+                            advanced = true;
                         }
                     })
                     .expect("job row exists");
+                if advanced {
+                    self.telemetry.note_job_state(key, "queued", now);
+                    self.telemetry.trace(
+                        TraceKind::JobQueued,
+                        now,
+                        Some(key),
+                        Some(site),
+                        String::new(),
+                    );
+                }
             }
-            StatusReport::Running { .. } => {
+            StatusReport::Running { site, .. } => {
+                let mut advanced = false;
                 self.db
                     .update::<JobRow>(key, |j| {
                         if matches!(j.state, JobState::Submitted | JobState::Queued) {
                             j.state = JobState::Running;
+                            advanced = true;
                         }
                     })
                     .expect("job row exists");
+                if advanced {
+                    self.telemetry.note_job_state(key, "running", now);
+                    self.telemetry.trace(
+                        TraceKind::JobRunning,
+                        now,
+                        Some(key),
+                        Some(site),
+                        String::new(),
+                    );
+                }
             }
             StatusReport::Completed {
                 site,
@@ -322,7 +409,17 @@ impl SphinxServer {
                     let _ = self.policy.commit(res, actual);
                 }
                 self.prediction.record(site, total);
-                self.reliability.record_completed(site);
+                let transition = self.reliability.record_completed_at(site, now);
+                self.note_flag_transition(transition, site, now);
+                self.telemetry.note_job_state(key, "finished", now);
+                self.telemetry.observe_ms("job.completion_ms", total);
+                self.telemetry.trace(
+                    TraceKind::JobCompleted,
+                    now,
+                    Some(key),
+                    Some(site),
+                    String::new(),
+                );
                 self.bump_site_stats(site, |s| {
                     s.completed += 1;
                     s.completion_secs_sum += total.as_secs_f64();
@@ -335,13 +432,25 @@ impl SphinxServer {
                     let ready = frontier.ready();
                     for idx in ready {
                         let child = JobId::new(job.dag, idx);
+                        let mut advanced = false;
                         self.db
                             .update::<JobRow>(child.as_key(), |j| {
                                 if j.state == JobState::Unready {
                                     j.state = JobState::Ready;
+                                    advanced = true;
                                 }
                             })
                             .expect("child row exists");
+                        if advanced {
+                            self.telemetry.note_job_state(child.as_key(), "ready", now);
+                            self.telemetry.trace(
+                                TraceKind::JobReady,
+                                now,
+                                Some(child.as_key()),
+                                None,
+                                String::new(),
+                            );
+                        }
                     }
                 }
                 self.maybe_finish_dag(job.dag, now);
@@ -359,13 +468,30 @@ impl SphinxServer {
                 self.db
                     .update::<JobRow>(key, |j| j.reset_for_replan())
                     .expect("job row exists");
-                self.reliability.record_cancelled(site, now);
+                let transition = self.reliability.record_cancelled_at(site, now);
+                self.note_flag_transition(transition, site, now);
+                self.telemetry.note_job_state(key, "ready", now);
                 self.bump_site_stats(site, |s| s.cancelled += 1);
                 self.dec_outstanding(site);
-                match cause {
-                    CancelCause::Held => self.stats.reschedules_held += 1,
-                    CancelCause::Timeout => self.stats.reschedules_timeout += 1,
-                }
+                let cause_label = match cause {
+                    CancelCause::Held => {
+                        self.stats.reschedules_held += 1;
+                        self.telemetry.counter_add("plan.reschedules_held", 1);
+                        "held"
+                    }
+                    CancelCause::Timeout => {
+                        self.stats.reschedules_timeout += 1;
+                        self.telemetry.counter_add("plan.reschedules_timeout", 1);
+                        "timeout"
+                    }
+                };
+                self.telemetry.trace(
+                    TraceKind::JobCancelled,
+                    now,
+                    Some(key),
+                    Some(site),
+                    cause_label.to_owned(),
+                );
                 if let Some(frontier) = self.frontiers.get_mut(&job.dag) {
                     frontier.put_back(job.index);
                 }
@@ -409,6 +535,24 @@ impl SphinxServer {
             updated.state = DagState::Running;
             txn.put(&updated).expect("row serializes");
             txn.commit().expect("reduction commits");
+            for &idx in &reduction.eliminated {
+                let jid = JobId::new(dag_row.id, idx).as_key();
+                self.telemetry.counter_add("job.eliminated", 1);
+                self.telemetry.note_job_state(jid, "eliminated", now);
+                self.telemetry.trace(
+                    TraceKind::JobEliminated,
+                    now,
+                    Some(jid),
+                    None,
+                    String::new(),
+                );
+            }
+            for idx in frontier.ready() {
+                let jid = JobId::new(dag_row.id, idx).as_key();
+                self.telemetry.note_job_state(jid, "ready", now);
+                self.telemetry
+                    .trace(TraceKind::JobReady, now, Some(jid), None, String::new());
+            }
             self.frontiers.insert(dag_row.id, frontier);
             self.maybe_finish_dag(dag_row.id, now);
         }
@@ -416,10 +560,7 @@ impl SphinxServer {
 
     /// The resource requirement of one job (eq. 4's `required`).
     fn requirement_of(job: &sphinx_dag::JobSpec) -> Requirement {
-        Requirement::new(
-            job.compute.as_secs_f64().ceil() as u64,
-            job.output.size_mb,
-        )
+        Requirement::new(job.compute.as_secs_f64().ceil() as u64, job.output.size_mb)
     }
 
     /// Choose transfer sources for a job's inputs ("choose the optimal
@@ -476,6 +617,25 @@ impl SphinxServer {
         reports: &BTreeMap<SiteId, Report>,
         transfers: &TransferModel,
     ) -> Vec<PlanNotice> {
+        self.telemetry.counter_add("plan.cycles", 1);
+        if let Some(prev) = self.last_plan_at {
+            self.telemetry
+                .observe_ms("plan.cycle_gap_ms", now.since(prev));
+        }
+        self.last_plan_at = Some(now);
+        // Staleness of the monitoring data this cycle plans against —
+        // "sample age at use", the paper's §2 imperfection made visible.
+        for report in reports.values() {
+            self.telemetry
+                .observe_ms("monitor.sample_age_ms", report.age(now));
+        }
+        self.telemetry.trace(
+            TraceKind::PlanCycle,
+            now,
+            None,
+            None,
+            format!("reports={}", reports.len()),
+        );
         self.reduce_received(rls, now);
         // The frontiers' ready sets mirror the `Ready` rows exactly and
         // avoid deserializing the whole job table every cycle.
@@ -510,10 +670,7 @@ impl SphinxServer {
             > 1;
         if any_deadline || distinct_priorities {
             ready.sort_by_key(|j| {
-                let (deadline, priority) = rank_of
-                    .get(&j.dag)
-                    .copied()
-                    .unwrap_or((None, 0));
+                let (deadline, priority) = rank_of.get(&j.dag).copied().unwrap_or((None, 0));
                 (
                     deadline.unwrap_or(SimTime::MAX),
                     std::cmp::Reverse(priority),
@@ -568,9 +725,7 @@ impl SphinxServer {
             }
             // … then the QoS fast-lane reservation.
             if let Some(fast) = fast_lane {
-                let urgent = rank_of
-                    .get(&job_id.dag)
-                    .is_some_and(|(d, _)| d.is_some());
+                let urgent = rank_of.get(&job_id.dag).is_some_and(|(d, _)| d.is_some());
                 if !urgent && candidates.len() > 1 {
                     candidates.retain(|&s| s != fast);
                 }
@@ -582,8 +737,7 @@ impl SphinxServer {
                 reports,
                 prediction: &self.prediction,
             };
-            let Some(site) = self.config.strategy.choose(&view, &mut self.strategy_state)
-            else {
+            let Some(site) = self.config.strategy.choose(&view, &mut self.strategy_state) else {
                 continue; // no feasible site now; stays Ready
             };
             let Some(staging) = Self::plan_staging(&dag_row.dag, &spec, site, rls, transfers)
@@ -613,13 +767,20 @@ impl SphinxServer {
             }
             *self.outstanding.entry(site).or_default() += 1;
             self.stats.plans += 1;
+            self.telemetry.counter_add("plan.jobs_submitted", 1);
+            self.telemetry
+                .note_job_state(job_id.as_key(), "submitted", now);
+            self.telemetry.trace(
+                TraceKind::JobSubmitted,
+                now,
+                Some(job_id.as_key()),
+                Some(site),
+                String::new(),
+            );
             // Step 4: final outputs (nothing downstream consumes them) go
             // to persistent storage; intermediates stay where they land.
             let is_sink = dag_row.dag.children()[job_id.index as usize].is_empty();
-            let archive_to = self
-                .config
-                .archive_site
-                .filter(|_| is_sink);
+            let archive_to = self.config.archive_site.filter(|_| is_sink);
             plans.push(PlanNotice {
                 job: job_id,
                 site,
@@ -782,14 +943,11 @@ mod tests {
             SimTime::from_secs(60),
         );
         assert_eq!(s.stats().reschedules_timeout, 1);
-        assert!(!s.reliability().is_reliable(victim.site, SimTime::from_secs(60)));
+        assert!(!s
+            .reliability()
+            .is_reliable(victim.site, SimTime::from_secs(60)));
         // The job is planned again, and feedback steers it elsewhere.
-        let replans = s.plan_cycle(
-            SimTime::from_secs(60),
-            &mut rls,
-            &BTreeMap::new(),
-            &model,
-        );
+        let replans = s.plan_cycle(SimTime::from_secs(60), &mut rls, &BTreeMap::new(), &model);
         let rp = replans
             .iter()
             .find(|p| p.job == victim.job)
@@ -812,7 +970,8 @@ mod tests {
                 archive_site: None,
             },
         );
-        s.policy_mut().add_user(UserId(1), sphinx_policy::VoId(0), 1);
+        s.policy_mut()
+            .add_user(UserId(1), sphinx_policy::VoId(0), 1);
         // Quota only at site 2.
         s.policy_mut()
             .grant(UserId(1), SiteId(2), Requirement::new(1_000_000, 1_000_000));
@@ -884,12 +1043,7 @@ mod tests {
         // The finished job stayed finished; in-flight ones are replanned.
         let row = s2.db.get::<JobRow>(done.job.as_key()).unwrap();
         assert_eq!(row.state, JobState::Finished);
-        let replans = s2.plan_cycle(
-            SimTime::from_secs(100),
-            &mut rls,
-            &BTreeMap::new(),
-            &model,
-        );
+        let replans = s2.plan_cycle(SimTime::from_secs(100), &mut rls, &BTreeMap::new(), &model);
         // Every in-flight job is replanned (plus any children the one
         // completion made ready); the finished job is not.
         assert!(replans.len() >= plans.len() - 1);
@@ -934,8 +1088,10 @@ mod tests {
             j.id = JobId::new(dag_high.id, i as u32);
         }
         let mut s = server(StrategyKind::RoundRobin);
-        s.policy_mut().add_user(UserId(1), sphinx_policy::VoId(0), 1);
-        s.policy_mut().add_user(UserId(2), sphinx_policy::VoId(0), 50);
+        s.policy_mut()
+            .add_user(UserId(1), sphinx_policy::VoId(0), 1);
+        s.policy_mut()
+            .add_user(UserId(2), sphinx_policy::VoId(0), 50);
         s.submit_dag(&dag_low, UserId(1), SimTime::ZERO);
         s.submit_dag(&dag_high, UserId(2), SimTime::ZERO);
         let mut rls = seeded_rls(&dag_low);
@@ -956,10 +1112,7 @@ mod tests {
             .iter()
             .rposition(|p| p.job.dag == dag_high.id)
             .expect("high-priority jobs planned");
-        assert!(
-            last_high < first_low,
-            "priority 50 plans before priority 1"
-        );
+        assert!(last_high < first_low, "priority 50 plans before priority 1");
     }
 
     #[test]
@@ -972,9 +1125,12 @@ mod tests {
         }
         let mut s = server(StrategyKind::CompletionTime);
         // Teach the prediction module which site is fastest.
-        s.prediction.record(SiteId(1), sphinx_sim::Duration::from_secs(50));
-        s.prediction.record(SiteId(0), sphinx_sim::Duration::from_secs(500));
-        s.prediction.record(SiteId(2), sphinx_sim::Duration::from_secs(500));
+        s.prediction
+            .record(SiteId(1), sphinx_sim::Duration::from_secs(50));
+        s.prediction
+            .record(SiteId(0), sphinx_sim::Duration::from_secs(500));
+        s.prediction
+            .record(SiteId(2), sphinx_sim::Duration::from_secs(500));
         s.submit_dag(&dag_slow, UserId(1), SimTime::ZERO);
         s.submit_dag_with_deadline(
             &dag_urgent,

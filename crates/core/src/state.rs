@@ -188,7 +188,9 @@ mod tests {
     #[test]
     fn rows_round_trip_through_database() {
         let db = Database::in_memory();
-        let dag = WorkloadSpec::small(1, 5).generate(&SimRng::new(1), 0).remove(0);
+        let dag = WorkloadSpec::small(1, 5)
+            .generate(&SimRng::new(1), 0)
+            .remove(0);
         let row = DagRow {
             id: dag.id,
             dag: dag.clone(),

@@ -1,0 +1,141 @@
+//! Property-based coverage of the reliability index invariants.
+//!
+//! Random outcome sequences (completions and cancellations at random
+//! simulated times) must never violate the two rules DESIGN.md promises:
+//!
+//! 1. a site is never flagged while, over the recency window, its
+//!    completions are at least its cancellations ("more cancelled than
+//!    completed" is the paper's strict flagging condition);
+//! 2. a flagged site becomes eligible again once `probation` has elapsed
+//!    since its **last** cancellation.
+
+use proptest::prelude::*;
+use sphinx_core::reliability::{FlagTransition, Reliability, ReliabilityConfig};
+use sphinx_data::SiteId;
+use sphinx_sim::{Duration, SimTime};
+use std::collections::VecDeque;
+
+/// One tracker outcome: `completed` at `minutes` past the epoch.
+#[derive(Debug, Clone)]
+struct Outcome {
+    completed: bool,
+    minutes: u64,
+}
+
+fn arb_outcomes() -> impl Strategy<Value = Vec<Outcome>> {
+    proptest::collection::vec(
+        (any::<bool>(), 0u64..600).prop_map(|(completed, minutes)| Outcome { completed, minutes }),
+        1..60,
+    )
+}
+
+const WINDOW: usize = 8;
+const PROBATION_MINS: u64 = 30;
+
+fn config() -> ReliabilityConfig {
+    ReliabilityConfig {
+        window: WINDOW,
+        probation: Duration::from_mins(PROBATION_MINS),
+    }
+}
+
+fn at(mins: u64) -> SimTime {
+    SimTime::from_secs(mins * 60)
+}
+
+proptest! {
+    /// Invariant 1: whenever the recency window holds at least as many
+    /// completions as cancellations, the site must be reliable —
+    /// regardless of order, timing, or lifetime history.
+    #[test]
+    fn never_flagged_while_window_completions_cover_cancellations(
+        outcomes in arb_outcomes()
+    ) {
+        let mut r = Reliability::with_config(config());
+        let site = SiteId(0);
+        // Shadow model of the window, maintained independently.
+        let mut window: VecDeque<bool> = VecDeque::new();
+        let mut clock = 0u64;
+        for o in &outcomes {
+            // Outcomes arrive in nondecreasing time order.
+            clock += o.minutes;
+            if o.completed {
+                r.record_completed(site);
+            } else {
+                r.record_cancelled(site, at(clock));
+            }
+            window.push_back(o.completed);
+            while window.len() > WINDOW {
+                window.pop_front();
+            }
+            let completed = window.iter().filter(|&&c| c).count();
+            let cancelled = window.len() - completed;
+            if completed >= cancelled {
+                prop_assert!(
+                    r.is_reliable(site, at(clock)),
+                    "flagged at t={clock}min with window {completed} completed \
+                     vs {cancelled} cancelled"
+                );
+            }
+        }
+    }
+
+    /// Invariant 2: a flagged site is eligible again `probation` after
+    /// its last cancellation — however it got flagged.
+    #[test]
+    fn flagged_site_is_eligible_probation_after_last_cancellation(
+        outcomes in arb_outcomes()
+    ) {
+        let mut r = Reliability::with_config(config());
+        let site = SiteId(0);
+        let mut clock = 0u64;
+        let mut last_cancelled = None;
+        for o in &outcomes {
+            clock += o.minutes;
+            if o.completed {
+                r.record_completed(site);
+            } else {
+                r.record_cancelled(site, at(clock));
+                last_cancelled = Some(clock);
+            }
+        }
+        if !r.is_reliable(site, at(clock)) {
+            let last = last_cancelled.expect("a flagged site has a cancellation");
+            prop_assert!(
+                r.is_reliable(site, at(last + PROBATION_MINS)),
+                "still flagged {PROBATION_MINS}min after its last \
+                 cancellation at t={last}min"
+            );
+            // And strictly before probation elapses it stays flagged.
+            prop_assert!(
+                !r.is_reliable(site, at(last + PROBATION_MINS - 1)),
+                "readmitted early (probation not yet elapsed)"
+            );
+        }
+    }
+
+    /// The `_at` edge-reporting wrappers agree with the plain recorders:
+    /// an edge fires exactly when the verdict changes.
+    #[test]
+    fn transition_edges_match_verdict_changes(outcomes in arb_outcomes()) {
+        let mut r = Reliability::with_config(config());
+        let site = SiteId(7);
+        let mut clock = 0u64;
+        for o in &outcomes {
+            clock += o.minutes;
+            let before = r.is_reliable(site, at(clock));
+            let edge = if o.completed {
+                r.record_completed_at(site, at(clock))
+            } else {
+                r.record_cancelled_at(site, at(clock))
+            };
+            let after = r.is_reliable(site, at(clock));
+            let expected = match (before, after) {
+                (true, false) => FlagTransition::Flagged,
+                (false, true) => FlagTransition::Unflagged,
+                _ => FlagTransition::Unchanged,
+            };
+            prop_assert_eq!(edge, expected);
+        }
+    }
+}

@@ -128,13 +128,7 @@ impl WorkloadSpec {
         }
     }
 
-    fn random_jobs(
-        &self,
-        id: DagId,
-        n: u32,
-        p_internal: f64,
-        rng: &mut SimRng,
-    ) -> Vec<JobSpec> {
+    fn random_jobs(&self, id: DagId, n: u32, p_internal: f64, rng: &mut SimRng) -> Vec<JobSpec> {
         (0..n)
             .map(|i| {
                 let k = self.n_inputs(rng);

@@ -158,11 +158,7 @@ mod tests {
     #[test]
     fn staged_inputs_empty_when_all_parents_survive() {
         let d = DagId(2);
-        let dag = Dag::new(
-            d,
-            vec![job(d, 0, &[], "a"), job(d, 1, &["a"], "b")],
-        )
-        .unwrap();
+        let dag = Dag::new(d, vec![job(d, 0, &[], "a"), job(d, 1, &["a"], "b")]).unwrap();
         let r = reduce(&dag, |_| false);
         assert!(staged_inputs(&dag, &r).is_empty());
     }

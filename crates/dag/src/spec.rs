@@ -173,8 +173,7 @@ impl Dag {
     /// Inputs that no job of this DAG produces — they must pre-exist in a
     /// replica catalog.
     pub fn external_inputs(&self) -> BTreeSet<LogicalFile> {
-        let produced: BTreeSet<&LogicalFile> =
-            self.jobs.iter().map(|j| &j.output.file).collect();
+        let produced: BTreeSet<&LogicalFile> = self.jobs.iter().map(|j| &j.output.file).collect();
         self.jobs
             .iter()
             .flat_map(|j| j.inputs.iter())
@@ -393,11 +392,7 @@ mod tests {
     #[test]
     fn duplicate_output_rejected() {
         let d = DagId(3);
-        let err = Dag::new(
-            d,
-            vec![job(d, 0, &[], "same"), job(d, 1, &[], "same")],
-        )
-        .unwrap_err();
+        let err = Dag::new(d, vec![job(d, 0, &[], "same"), job(d, 1, &[], "same")]).unwrap_err();
         assert_eq!(
             err,
             DagValidationError::DuplicateOutput(LogicalFile::from("same"))
@@ -414,11 +409,7 @@ mod tests {
     #[test]
     fn cycle_rejected() {
         let d = DagId(5);
-        let err = Dag::new(
-            d,
-            vec![job(d, 0, &["b"], "a"), job(d, 1, &["a"], "b")],
-        )
-        .unwrap_err();
+        let err = Dag::new(d, vec![job(d, 0, &["b"], "a"), job(d, 1, &["a"], "b")]).unwrap_err();
         assert!(matches!(err, DagValidationError::Cycle(_)));
     }
 

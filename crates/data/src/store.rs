@@ -27,7 +27,11 @@ pub enum StoreError {
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StoreError::Full { file, need_mb, free_mb } => write!(
+            StoreError::Full {
+                file,
+                need_mb,
+                free_mb,
+            } => write!(
                 f,
                 "store full: `{file}` needs {need_mb} MB, only {free_mb} MB free"
             ),

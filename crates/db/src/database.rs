@@ -7,8 +7,10 @@ use crate::wal::Wal;
 use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
+use sphinx_telemetry::Telemetry;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A row type bound to a named table with a `u64` primary key.
 pub trait Record: Serialize + DeserializeOwned + Clone + Send + 'static {
@@ -38,6 +40,9 @@ pub struct Database {
     pub(crate) wal: Mutex<Box<dyn Wal>>,
     indexes: Mutex<Indexes>,
     commits: AtomicU64,
+    /// Log lines replayed by `recover` (0 for a fresh database).
+    replayed: u64,
+    telemetry: Mutex<Option<Arc<Telemetry>>>,
 }
 
 impl std::fmt::Debug for Database {
@@ -72,6 +77,8 @@ impl Database {
             wal: Mutex::new(wal),
             indexes: Mutex::new(Indexes::default()),
             commits: AtomicU64::new(0),
+            replayed: 0,
+            telemetry: Mutex::new(None),
         }
     }
 
@@ -118,7 +125,24 @@ impl Database {
             wal: Mutex::new(wal),
             indexes: Mutex::new(Indexes::default()),
             commits: AtomicU64::new(0),
+            replayed: valid as u64,
+            telemetry: Mutex::new(None),
         })
+    }
+
+    /// Log lines replayed when this database was built by [`Database::recover`].
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Attach a telemetry hub. Replay work already done by `recover` is
+    /// credited immediately (recovery runs before any hub exists); every
+    /// later commit and checkpoint bumps `wal.appends` / `wal.rewrites`.
+    pub fn attach_telemetry(&self, telemetry: Arc<Telemetry>) {
+        if self.replayed > 0 {
+            telemetry.counter_add("wal.replays", self.replayed);
+        }
+        *self.telemetry.lock() = Some(telemetry);
     }
 
     /// Begin a multi-table atomic transaction.
@@ -134,6 +158,9 @@ impl Database {
         let line = serde_json::to_string(&entry).expect("log entry serializes");
         // WAL first, then tables: the log is the source of truth.
         self.wal.lock().append(&line)?;
+        if let Some(t) = self.telemetry.lock().as_ref() {
+            t.counter_add("wal.appends", 1);
+        }
         let mut tables = self.tables.lock();
         let mut indexes = self.indexes.lock();
         if let LogEntry::Txn { ops } = entry {
@@ -208,11 +235,7 @@ impl Database {
 
     /// Read-modify-write one row under a single commit. Returns `false` if
     /// the row does not exist.
-    pub fn update<R: Record>(
-        &self,
-        key: u64,
-        f: impl FnOnce(&mut R),
-    ) -> Result<bool, DbError> {
+    pub fn update<R: Record>(&self, key: u64, f: impl FnOnce(&mut R)) -> Result<bool, DbError> {
         let Some(mut row) = self.get::<R>(key) else {
             return Ok(false);
         };
@@ -240,10 +263,7 @@ impl Database {
 
     /// Number of rows in a table.
     pub fn count<R: Record>(&self) -> usize {
-        self.tables
-            .lock()
-            .get(R::TABLE)
-            .map_or(0, |t| t.len())
+        self.tables.lock().get(R::TABLE).map_or(0, |t| t.len())
     }
 
     /// Largest key present in the table, if any.
@@ -286,9 +306,7 @@ impl Database {
         let tables = self.tables.lock();
         let indexes = self.indexes.lock();
         if indexes.exists(R::TABLE, pointer) {
-            let keys = indexes
-                .lookup(R::TABLE, pointer, value)
-                .unwrap_or_default();
+            let keys = indexes.lookup(R::TABLE, pointer, value).unwrap_or_default();
             let Some(t) = tables.get(R::TABLE) else {
                 return Vec::new();
             };
@@ -312,7 +330,11 @@ impl Database {
     pub fn checkpoint(&self) -> Result<(), DbError> {
         let entry = LogEntry::snapshot_of(&self.tables.lock());
         let line = serde_json::to_string(&entry).expect("snapshot serializes");
-        self.wal.lock().rewrite(&[line])
+        self.wal.lock().rewrite(&[line])?;
+        if let Some(t) = self.telemetry.lock().as_ref() {
+            t.counter_add("wal.rewrites", 1);
+        }
+        Ok(())
     }
 
     // ---- raw (string-table) access, used by `Queue` ----
@@ -424,9 +446,7 @@ mod tests {
     fn update_in_place() {
         let db = Database::in_memory();
         db.insert(&item(5, "x", 1)).unwrap();
-        let hit = db
-            .update::<Item>(5, |r| r.weight += 100)
-            .unwrap();
+        let hit = db.update::<Item>(5, |r| r.weight += 100).unwrap();
         assert!(hit);
         assert_eq!(db.get::<Item>(5).unwrap().weight, 101);
         assert!(!db.update::<Item>(99, |_| {}).unwrap());
@@ -522,12 +542,44 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_counts_appends_rewrites_and_replays() {
+        let wal = MemWal::shared();
+        {
+            let db = Database::with_wal(Box::new(wal.clone()));
+            let tel = Telemetry::shared();
+            db.attach_telemetry(Arc::clone(&tel));
+            db.insert(&item(1, "a", 1)).unwrap();
+            db.insert(&item(2, "b", 2)).unwrap();
+            db.checkpoint().unwrap();
+            db.insert(&item(3, "c", 3)).unwrap();
+            assert_eq!(tel.counter("wal.appends"), 3);
+            assert_eq!(tel.counter("wal.rewrites"), 1);
+            assert_eq!(tel.counter("wal.replays"), 0);
+        }
+        let db = Database::recover(Box::new(wal)).unwrap();
+        assert_eq!(
+            db.replayed(),
+            2,
+            "one snapshot line + one post-checkpoint txn"
+        );
+        let tel = Telemetry::shared();
+        db.attach_telemetry(Arc::clone(&tel));
+        assert_eq!(tel.counter("wal.replays"), 2);
+    }
+
+    #[test]
     fn stats_and_commit_count() {
         let db = Database::in_memory();
         db.insert(&item(1, "a", 1)).unwrap();
         db.insert(&item(2, "b", 2)).unwrap();
         let stats = db.stats();
-        assert_eq!(stats, vec![TableStats { name: "items".into(), rows: 2 }]);
+        assert_eq!(
+            stats,
+            vec![TableStats {
+                name: "items".into(),
+                rows: 2
+            }]
+        );
         assert_eq!(db.commit_count(), 2);
     }
 }

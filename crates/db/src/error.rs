@@ -56,9 +56,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = DbError::DuplicateKey { table: "jobs".into(), key: 7 };
+        let e = DbError::DuplicateKey {
+            table: "jobs".into(),
+            key: 7,
+        };
         assert_eq!(e.to_string(), "duplicate key 7 in table `jobs`");
-        let e = DbError::Corrupt { line: 3, message: "bad json".into() };
+        let e = DbError::Corrupt {
+            line: 3,
+            message: "bad json".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 

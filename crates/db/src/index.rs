@@ -111,7 +111,6 @@ impl Indexes {
             }
         }
     }
-
 }
 
 #[cfg(test)]
@@ -151,7 +150,8 @@ mod tests {
         let ready = db.scan_where::<Task>("/state", &serde_json::json!("ready"));
         assert_eq!(ready.len(), 2);
         // Update moves the row between index buckets.
-        db.update::<Task>(1, |t| t.state = "running".into()).unwrap();
+        db.update::<Task>(1, |t| t.state = "running".into())
+            .unwrap();
         assert_eq!(
             db.scan_where::<Task>("/state", &serde_json::json!("ready"))
                 .len(),
@@ -215,7 +215,8 @@ mod tests {
         txn.put(&task(2, "b", None)).unwrap();
         txn.commit().unwrap();
         assert_eq!(
-            db.scan_where::<Task>("/state", &serde_json::json!("a")).len(),
+            db.scan_where::<Task>("/state", &serde_json::json!("a"))
+                .len(),
             1
         );
     }
@@ -226,7 +227,8 @@ mod tests {
         db.create_index::<Task>("/state");
         let states = ["ready", "running", "done"];
         for i in 0..60u64 {
-            db.put(&task(i % 20, states[(i % 3) as usize], None)).unwrap();
+            db.put(&task(i % 20, states[(i % 3) as usize], None))
+                .unwrap();
             if i % 7 == 0 {
                 let _ = db.delete::<Task>(i % 20);
             }

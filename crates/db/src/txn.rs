@@ -97,7 +97,10 @@ pub struct Txn<'a> {
 
 impl<'a> Txn<'a> {
     pub(crate) fn new(db: &'a Database) -> Self {
-        Txn { db, ops: Vec::new() }
+        Txn {
+            db,
+            ops: Vec::new(),
+        }
     }
 
     /// Buffer an upsert.

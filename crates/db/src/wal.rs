@@ -28,6 +28,10 @@ pub trait Wal: Send {
     /// Number of entries appended since this handle was created (for
     /// instrumentation).
     fn appended(&self) -> u64;
+
+    /// Number of checkpoint compactions (`rewrite` calls) since this handle
+    /// was created (for instrumentation).
+    fn rewrites(&self) -> u64;
 }
 
 /// In-memory WAL. Cloning shares the underlying buffer, so a "crashed"
@@ -37,6 +41,7 @@ pub trait Wal: Send {
 pub struct MemWal {
     lines: Arc<Mutex<Vec<String>>>,
     appended: u64,
+    rewrites: u64,
 }
 
 impl MemWal {
@@ -80,11 +85,16 @@ impl Wal for MemWal {
 
     fn rewrite(&mut self, lines: &[String]) -> Result<(), DbError> {
         *self.lines.lock() = lines.to_vec();
+        self.rewrites += 1;
         Ok(())
     }
 
     fn appended(&self) -> u64 {
         self.appended
+    }
+
+    fn rewrites(&self) -> u64 {
+        self.rewrites
     }
 }
 
@@ -94,6 +104,7 @@ pub struct FileWal {
     path: PathBuf,
     writer: BufWriter<File>,
     appended: u64,
+    rewrites: u64,
 }
 
 impl FileWal {
@@ -105,6 +116,7 @@ impl FileWal {
             path,
             writer: BufWriter::new(file),
             appended: 0,
+            rewrites: 0,
         })
     }
 
@@ -144,11 +156,16 @@ impl Wal for FileWal {
         std::fs::rename(&tmp, &self.path)?;
         let file = OpenOptions::new().append(true).open(&self.path)?;
         self.writer = BufWriter::new(file);
+        self.rewrites += 1;
         Ok(())
     }
 
     fn appended(&self) -> u64 {
         self.appended
+    }
+
+    fn rewrites(&self) -> u64 {
+        self.rewrites
     }
 }
 
@@ -158,7 +175,11 @@ mod tests {
 
     fn temp_path(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("sphinx-db-test-{}-{}.wal", name, std::process::id()));
+        p.push(format!(
+            "sphinx-db-test-{}-{}.wal",
+            name,
+            std::process::id()
+        ));
         let _ = std::fs::remove_file(&p);
         p
     }
@@ -199,6 +220,19 @@ mod tests {
         w.append("a").unwrap();
         w.rewrite(&["z".to_owned()]).unwrap();
         assert_eq!(w.read_all().unwrap(), vec!["z"]);
+        assert_eq!(w.rewrites(), 1);
+    }
+
+    #[test]
+    fn rewrite_counts_accumulate_per_handle() {
+        let mut w = MemWal::shared();
+        assert_eq!(w.rewrites(), 0);
+        w.rewrite(&[]).unwrap();
+        w.rewrite(&["a".to_owned()]).unwrap();
+        assert_eq!(w.rewrites(), 2);
+        // A clone shares the buffer but tracks its own instrumentation.
+        let view = w.clone();
+        assert_eq!(view.rewrites(), 2);
     }
 
     #[test]
@@ -224,6 +258,7 @@ mod tests {
         w.rewrite(&["snapshot".to_owned()]).unwrap();
         w.append("c").unwrap();
         assert_eq!(w.read_all().unwrap(), vec!["snapshot", "c"]);
+        assert_eq!(w.rewrites(), 1);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -14,7 +14,9 @@ use crate::site::SiteSpec;
 use serde::{Deserialize, Serialize};
 use sphinx_data::{FileSpec, ReplicaService, SiteId, SiteStore, TransferModel, TransferTracker};
 use sphinx_sim::{Duration, EventQueue, SimRng, SimTime};
+use sphinx_telemetry::Telemetry;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Why a job was held/killed at a site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -188,6 +190,7 @@ pub struct GridSim {
     out: Vec<Notification>,
     next_handle: u64,
     submit_rng: SimRng,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl GridSim {
@@ -223,8 +226,8 @@ impl GridSim {
             // every run would begin on an unrealistically empty grid and
             // spend its whole duration ramping up.
             if let Some(mean) = rt.spec.background.arrival_mean {
-                let occupancy = rt.spec.background.runtime_mean.as_secs_f64()
-                    / mean.as_secs_f64().max(1e-9);
+                let occupancy =
+                    rt.spec.background.runtime_mean.as_secs_f64() / mean.as_secs_f64().max(1e-9);
                 // Cap the initial backlog at one CPU-round beyond capacity;
                 // oversaturated sites keep growing from there naturally.
                 let initial = occupancy.round() as u32;
@@ -266,7 +269,14 @@ impl GridSim {
             out: Vec::new(),
             next_handle: 0,
             submit_rng: root.derive("submit"),
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry hub; every sphinx-job submit/start/complete/
+    /// hold/cancel is traced with the request tag as the job key.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The simulation clock.
@@ -337,6 +347,9 @@ impl GridSim {
             .submit_rng
             .jittered(self.sites[i].spec.faults.submit_latency, 0.5);
         let at = self.now() + latency;
+        if let Some(t) = &self.telemetry {
+            t.grid_submit(site, request.tag, self.now());
+        }
         self.sites[i].staging.insert(
             handle,
             Staging {
@@ -354,6 +367,7 @@ impl GridSim {
         let Some(&i) = self.site_index.get(&site) else {
             return false;
         };
+        let now = self.now();
         let rt = &mut self.sites[i];
         if let Some(staging) = rt.staging.remove(&handle) {
             // Abort outstanding transfers' contention accounting.
@@ -362,15 +376,21 @@ impl GridSim {
                     self.transfers.end(src, rt.spec.id);
                 }
             }
+            if let Some(t) = &self.telemetry {
+                t.grid_cancel(site, staging.request.tag, now);
+            }
             return true;
         }
-        if let Some((batch_id, _tag, _)) = rt.in_batch.remove(&handle) {
+        if let Some((batch_id, tag, _)) = rt.in_batch.remove(&handle) {
             rt.by_batch.remove(&batch_id);
             rt.outputs.remove(&handle);
             rt.archive.remove(&handle);
             rt.started_at.remove(&batch_id);
             let found = rt.batch.cancel(batch_id).is_some();
             let started = rt.batch.dispatch();
+            if let Some(t) = &self.telemetry {
+                t.grid_cancel(site, tag, now);
+            }
             let site_idx = i;
             self.after_dispatch(site_idx, started);
             return found;
@@ -469,9 +489,17 @@ impl GridSim {
             return;
         }
         for (src, size_mb) in transfers {
-            let d = self.transfers.begin(&self.transfer_model, src, dst, size_mb);
-            self.events
-                .push(now + d, Event::StageDone { site: i, handle, src });
+            let d = self
+                .transfers
+                .begin(&self.transfer_model, src, dst, size_mb);
+            self.events.push(
+                now + d,
+                Event::StageDone {
+                    site: i,
+                    handle,
+                    src,
+                },
+            );
         }
     }
 
@@ -514,7 +542,9 @@ impl GridSim {
         }
         let runtime_nominal = req.compute.mul_f64(1.0 / rt.spec.cpu_speed.max(0.01));
         let runtime = rt.exec_rng.jittered(runtime_nominal, 0.05);
-        let batch_id = rt.batch.enqueue(JobOwner::Sphinx { handle: handle.0 }, runtime);
+        let batch_id = rt
+            .batch
+            .enqueue(JobOwner::Sphinx { handle: handle.0 }, runtime);
         rt.in_batch.insert(handle, (batch_id, req.tag, now));
         rt.by_batch.insert(batch_id, handle);
         rt.outputs.insert(handle, req.output.clone());
@@ -544,11 +574,12 @@ impl GridSim {
                 let handle = JobHandle(handle);
                 let rt = &mut self.sites[i];
                 if let Some(&(_, tag, _)) = rt.in_batch.get(&handle) {
-                    self.out.push(Notification::JobRunning {
-                        handle,
-                        tag,
-                        site: rt.spec.id,
-                    });
+                    let site = rt.spec.id;
+                    if let Some(t) = &self.telemetry {
+                        t.grid_start(site, tag, now);
+                    }
+                    self.out
+                        .push(Notification::JobRunning { handle, tag, site });
                 }
                 // Mid-run kill lottery.
                 let p = self.sites[i].spec.faults.kill_prob;
@@ -609,6 +640,9 @@ impl GridSim {
                         }
                     }
                     rt.counters.sphinx_completed += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.grid_complete(site, tag, now);
+                    }
                     self.out.push(Notification::JobCompleted {
                         handle,
                         tag,
@@ -638,6 +672,9 @@ impl GridSim {
         let site = rt.spec.id;
         if let Some((_, tag, _)) = rt.in_batch.remove(&handle) {
             rt.counters.sphinx_held += 1;
+            if let Some(t) = &self.telemetry {
+                t.grid_hold(site, tag, self.events.now());
+            }
             self.out.push(Notification::JobHeld {
                 handle,
                 tag,
@@ -659,11 +696,7 @@ impl GridSim {
         self.transfers.end(src, dst);
         if let Some(&i) = self.site_index.get(&dst) {
             let rt = &mut self.sites[i];
-            if rt
-                .store
-                .put(&FileSpec::new(file.clone(), size_mb))
-                .is_ok()
-            {
+            if rt.store.put(&FileSpec::new(file.clone(), size_mb)).is_ok() {
                 self.rls.register(file, dst);
             }
         }
@@ -677,9 +710,7 @@ impl GridSim {
         // the configured factor (inter-arrival stretches accordingly).
         if let Some(mean) = rt.spec.background.arrival_mean {
             let effective = match (&rt.spec.background.burst, rt.burst_on) {
-                (Some(burst), false) => {
-                    mean.mul_f64(1.0 / burst.off_factor.clamp(0.01, 1.0))
-                }
+                (Some(burst), false) => mean.mul_f64(1.0 / burst.off_factor.clamp(0.01, 1.0)),
                 _ => mean,
             };
             let next = now + rt.bg_rng.exp_duration(effective);
@@ -728,6 +759,9 @@ impl GridSim {
                     rt.outputs.remove(&handle);
                     if let Some((_, tag, _)) = rt.in_batch.remove(&handle) {
                         rt.counters.sphinx_held += 1;
+                        if let Some(t) = &self.telemetry {
+                            t.grid_hold(site, tag, now);
+                        }
                         self.out.push(Notification::JobHeld {
                             handle,
                             tag,
@@ -739,9 +773,8 @@ impl GridSim {
             }
             // Staging jobs are lost silently (their gatekeeper session
             // died); release transfer slots.
-            let staging: Vec<(JobHandle, Staging)> = std::mem::take(&mut rt.staging)
-                .into_iter()
-                .collect();
+            let staging: Vec<(JobHandle, Staging)> =
+                std::mem::take(&mut rt.staging).into_iter().collect();
             for (_, staging) in &staging {
                 for inp in &staging.request.inputs {
                     if let Some(src) = inp.source {
@@ -786,8 +819,8 @@ impl std::fmt::Debug for GridSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::site::{BackgroundLoad, FaultProfile};
     use crate::request::StagedInput;
+    use crate::site::{BackgroundLoad, FaultProfile};
     use sphinx_data::LogicalFile;
 
     fn one_site_grid(cpus: u32) -> GridSim {
@@ -826,7 +859,13 @@ mod tests {
             })
             .collect();
         assert_eq!(kinds, vec!["queued", "running", "completed"]);
-        if let Notification::JobCompleted { tag, queued_for, ran_for, .. } = &notes[2] {
+        if let Notification::JobCompleted {
+            tag,
+            queued_for,
+            ran_for,
+            ..
+        } = &notes[2]
+        {
             assert_eq!(*tag, 7);
             assert_eq!(*queued_for, Duration::ZERO);
             let secs = ran_for.as_secs_f64();
@@ -866,7 +905,9 @@ mod tests {
         let queued_for = notes
             .iter()
             .find_map(|n| match n {
-                Notification::JobCompleted { tag: 2, queued_for, .. } => Some(*queued_for),
+                Notification::JobCompleted {
+                    tag: 2, queued_for, ..
+                } => Some(*queued_for),
                 _ => None,
             })
             .unwrap();
@@ -907,8 +948,7 @@ mod tests {
 
     #[test]
     fn black_hole_site_queues_forever() {
-        let site = SiteSpec::new(SiteId(0), "hole", 8)
-            .with_faults(FaultProfile::black_hole());
+        let site = SiteSpec::new(SiteId(0), "hole", 8).with_faults(FaultProfile::black_hole());
         let mut grid = GridSim::new(vec![site], TransferModel::default(), 3);
         grid.submit(SiteId(0), req(1, 1));
         let notes = run_to_idle(&mut grid);
@@ -1028,9 +1068,8 @@ mod tests {
 
     #[test]
     fn background_load_occupies_cpus() {
-        let site = SiteSpec::new(SiteId(0), "busy", 4).with_background(
-            BackgroundLoad::utilization(4, 0.9, Duration::from_mins(10)),
-        );
+        let site = SiteSpec::new(SiteId(0), "busy", 4)
+            .with_background(BackgroundLoad::utilization(4, 0.9, Duration::from_mins(10)));
         let mut grid = GridSim::new(vec![site], TransferModel::default(), 11);
         grid.schedule_wakeup(SimTime::from_secs(3600), 0);
         let mut seen_running = 0usize;
@@ -1155,10 +1194,7 @@ mod tests {
             .iter()
             .any(|n| matches!(n, Notification::JobCompleted { tag: 1, .. })));
         // Output too large for the 1 MB store: no replica registered.
-        assert!(grid
-            .rls_mut()
-            .locate(&LogicalFile::from("out1"))
-            .is_empty());
+        assert!(grid.rls_mut().locate(&LogicalFile::from("out1")).is_empty());
     }
 
     #[test]
@@ -1202,11 +1238,52 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_traces_submit_start_complete() {
+        let tel = Telemetry::shared();
+        let mut grid = one_site_grid(2);
+        grid.set_telemetry(Arc::clone(&tel));
+        grid.submit(SiteId(0), req(7, 1));
+        run_to_idle(&mut grid);
+        assert_eq!(tel.counter("grid.submits"), 1);
+        assert_eq!(tel.counter("grid.starts"), 1);
+        assert_eq!(tel.counter("grid.completions"), 1);
+        assert_eq!(tel.counter("grid.holds"), 0);
+        let snap = tel.snapshot();
+        let tally = snap.sites.get(&0).copied().unwrap_or_default();
+        assert_eq!(tally.submits, 1);
+        assert_eq!(tally.completions, 1);
+    }
+
+    #[test]
+    fn telemetry_traces_cancel_and_hold() {
+        let tel = Telemetry::shared();
+        let mut grid = one_site_grid(1);
+        grid.set_telemetry(Arc::clone(&tel));
+        grid.submit(SiteId(0), req(1, 10));
+        let h2 = grid.submit(SiteId(0), req(2, 10));
+        while grid.snapshot(SiteId(0)).unwrap().queued < 1 {
+            assert!(grid.step());
+        }
+        assert!(grid.cancel(SiteId(0), h2));
+        assert_eq!(tel.counter("grid.cancels"), 1);
+
+        let killer = SiteSpec::new(SiteId(0), "killer", 2).with_faults(FaultProfile {
+            kill_prob: 1.0,
+            ..FaultProfile::default()
+        });
+        let tel2 = Telemetry::shared();
+        let mut grid2 = GridSim::new(vec![killer], TransferModel::default(), 9);
+        grid2.set_telemetry(Arc::clone(&tel2));
+        grid2.submit(SiteId(0), req(1, 5));
+        run_to_idle(&mut grid2);
+        assert_eq!(tel2.counter("grid.holds"), 1);
+    }
+
+    #[test]
     fn determinism_same_seed_same_trace() {
         let build = |seed| {
-            let site = SiteSpec::new(SiteId(0), "s", 2).with_background(
-                BackgroundLoad::utilization(2, 0.5, Duration::from_mins(5)),
-            );
+            let site = SiteSpec::new(SiteId(0), "s", 2)
+                .with_background(BackgroundLoad::utilization(2, 0.5, Duration::from_mins(5)));
             let mut grid = GridSim::new(vec![site], TransferModel::default(), seed);
             for t in 0..10 {
                 grid.submit(SiteId(0), req(t, 2));

@@ -126,8 +126,7 @@ impl BackgroundLoad {
     /// `cpus` (an M/M/c sizing: arrival rate = utilization * c / runtime).
     pub fn utilization(cpus: u32, utilization: f64, runtime_mean: Duration) -> Self {
         let utilization = utilization.clamp(0.01, 2.0);
-        let arrivals_per_sec =
-            utilization * cpus as f64 / runtime_mean.as_secs_f64().max(1.0);
+        let arrivals_per_sec = utilization * cpus as f64 / runtime_mean.as_secs_f64().max(1.0);
         BackgroundLoad {
             arrival_mean: Some(Duration::from_secs_f64(1.0 / arrivals_per_sec)),
             runtime_mean,

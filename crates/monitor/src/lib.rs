@@ -30,7 +30,9 @@ use serde::{Deserialize, Serialize};
 use sphinx_data::SiteId;
 use sphinx_grid::SiteSnapshot;
 use sphinx_sim::{Duration, SimRng, SimTime};
+use sphinx_telemetry::{Telemetry, TraceKind};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Imperfection parameters of the monitoring system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -108,6 +110,7 @@ pub struct Monitor {
     rounds: u64,
     samples_lost: u64,
     rng: SimRng,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Monitor {
@@ -121,7 +124,14 @@ impl Monitor {
             rounds: 0,
             samples_lost: 0,
             rng: SimRng::new(seed).derive("monitor"),
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry hub; sampling rounds and losses are counted and
+    /// each round leaves a `monitor_sample` trace event.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The configuration in force.
@@ -146,9 +156,11 @@ impl Monitor {
         self.rounds += 1;
         self.last_sample = Some(now);
         let mut reports = Vec::with_capacity(truth.len());
+        let mut lost_this_round = 0u64;
         for snap in truth {
             if !snap.up || self.rng.chance(self.config.drop_prob) {
                 self.samples_lost += 1;
+                lost_this_round += 1;
                 continue;
             }
             reports.push(Report {
@@ -158,6 +170,17 @@ impl Monitor {
                 running: self.perturb(snap.running),
                 measured_at: now,
             });
+        }
+        if let Some(t) = &self.telemetry {
+            t.counter_add("monitor.samples", reports.len() as u64);
+            t.counter_add("monitor.samples_lost", lost_this_round);
+            t.trace(
+                TraceKind::MonitorSample,
+                now,
+                None,
+                None,
+                format!("sampled={} lost={}", reports.len(), lost_this_round),
+            );
         }
         self.pending.push(PendingRound {
             visible_at: now + self.config.propagation_delay,
@@ -169,7 +192,9 @@ impl Monitor {
         if self.config.noise <= 0.0 || value == 0 {
             return value;
         }
-        let f = self.rng.range_f64(1.0 - self.config.noise, 1.0 + self.config.noise);
+        let f = self
+            .rng
+            .range_f64(1.0 - self.config.noise, 1.0 + self.config.noise);
         (value as f64 * f).round().max(0.0) as usize
     }
 
@@ -323,7 +348,11 @@ mod tests {
         let mut m = perfect();
         m.sample(
             SimTime::from_secs(0),
-            &[snap(0, 1, 0, true), snap(1, 2, 0, true), snap(2, 0, 0, false)],
+            &[
+                snap(0, 1, 0, true),
+                snap(1, 2, 0, true),
+                snap(2, 0, 0, false),
+            ],
         );
         let rs = m.reports(SimTime::from_secs(0));
         assert_eq!(rs.len(), 2, "down site has no report yet");
@@ -335,6 +364,24 @@ mod tests {
         assert_eq!(m.next_sample_due(), SimTime::ZERO);
         m.sample(SimTime::from_secs(30), &[]);
         assert_eq!(m.next_sample_due(), SimTime::from_secs(90));
+    }
+
+    #[test]
+    fn telemetry_counts_samples_and_losses() {
+        let tel = Telemetry::shared();
+        let mut m = perfect();
+        m.set_telemetry(Arc::clone(&tel));
+        m.sample(
+            SimTime::ZERO,
+            &[
+                snap(0, 1, 0, true),
+                snap(1, 2, 0, true),
+                snap(2, 0, 0, false),
+            ],
+        );
+        assert_eq!(tel.counter("monitor.samples"), 2);
+        assert_eq!(tel.counter("monitor.samples_lost"), 1);
+        assert_eq!(tel.trace_len(), 1, "one monitor_sample trace per round");
     }
 
     #[test]

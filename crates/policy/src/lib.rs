@@ -281,7 +281,8 @@ impl PolicyEngine {
         acct.reserved = acct.reserved.plus(amount);
         let id = self.next_reservation;
         self.next_reservation += 1;
-        self.reservations.insert(id, Reservation { user, site, amount });
+        self.reservations
+            .insert(id, Reservation { user, site, amount });
         Ok(id)
     }
 
@@ -367,9 +368,7 @@ mod tests {
         // reservation must fail (eq. 4 applied against *remaining*).
         let err = e.reserve(UserId(1), SiteId(0), need).unwrap_err();
         assert!(matches!(err, PolicyError::InsufficientQuota { .. }));
-        assert!(e
-            .feasible_sites(UserId(1), need, &[SiteId(0)])
-            .is_empty());
+        assert!(e.feasible_sites(UserId(1), need, &[SiteId(0)]).is_empty());
     }
 
     #[test]

@@ -205,6 +205,59 @@ mod tests {
         assert_eq!(q.peek_time(), None);
     }
 
+    #[test]
+    fn equal_timestamp_fifo_survives_interleaved_pushes() {
+        // Same-instant FIFO must hold even when pushes at that instant
+        // are interleaved with pushes at other times and with pops.
+        let mut q = EventQueue::new();
+        let t5 = SimTime::from_secs(5);
+        q.push(t5, "first@5");
+        q.push(SimTime::from_secs(1), "only@1");
+        q.push(t5, "second@5");
+        assert_eq!(q.pop().unwrap().1, "only@1");
+        // Pushing at t5 after a pop keeps queueing behind earlier t5 events.
+        q.push(t5, "third@5");
+        q.push(SimTime::from_secs(9), "only@9");
+        q.push(t5, "fourth@5");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(
+            order,
+            vec!["first@5", "second@5", "third@5", "fourth@5", "only@9"]
+        );
+    }
+
+    #[test]
+    fn accounting_stays_consistent_through_pop_and_clear() {
+        let mut q = EventQueue::new();
+        for s in [3u64, 1, 2] {
+            q.push(SimTime::from_secs(s), s);
+        }
+        // peek_time always names the event pop would return next, and
+        // len/scheduled_total stay in step with the operations performed.
+        while let Some(expected) = q.peek_time() {
+            let len_before = q.len();
+            let (t, _) = q.pop().unwrap();
+            assert_eq!(t, expected);
+            assert_eq!(q.len(), len_before - 1);
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 3, "counter counts pushes, not pops");
+        // clear() drops pending events but not the insertion counter.
+        q.push(SimTime::from_secs(10), 10);
+        q.push(SimTime::from_secs(11), 11);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.scheduled_total(), 5);
+        // The clock survives clear(): scheduling before it still panics,
+        // and a fresh push at a later time works.
+        assert_eq!(q.now(), SimTime::from_secs(3));
+        q.push(SimTime::from_secs(4), 4);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(4), 4)));
+        assert_eq!(q.scheduled_total(), 6);
+    }
+
     proptest! {
         /// Popping must always yield a non-decreasing time sequence, and
         /// within one instant, increasing sequence numbers.

@@ -103,7 +103,9 @@ pub struct SampleSet {
 impl SampleSet {
     /// An empty set.
     pub fn new() -> Self {
-        SampleSet { samples: Vec::new() }
+        SampleSet {
+            samples: Vec::new(),
+        }
     }
 
     /// Record one observation.
@@ -220,10 +222,7 @@ impl TimeWeighted {
         if total.is_zero() {
             return Some(self.last_value);
         }
-        Some(
-            (self.weighted_sum + self.last_value * tail.as_secs_f64())
-                / total.as_secs_f64(),
-        )
+        Some((self.weighted_sum + self.last_value * tail.as_secs_f64()) / total.as_secs_f64())
     }
 
     /// The most recently set value.
@@ -317,7 +316,7 @@ mod tests {
         tw.set(SimTime::from_secs(0), 0.0);
         tw.set(SimTime::from_secs(10), 10.0); // 0 for 10s
         tw.set(SimTime::from_secs(20), 0.0); // 10 for 10s
-        // Average over [0, 20] = (0*10 + 10*10) / 20 = 5.
+                                             // Average over [0, 20] = (0*10 + 10*10) / 20 = 5.
         assert!((tw.average_until(SimTime::from_secs(20)).unwrap() - 5.0).abs() < 1e-9);
         // Extending with the current value (0) dilutes the average.
         assert!((tw.average_until(SimTime::from_secs(40)).unwrap() - 2.5).abs() < 1e-9);

@@ -219,7 +219,10 @@ mod tests {
 
     #[test]
     fn saturating_add_caps_at_max() {
-        assert_eq!(SimTime::MAX.saturating_add(Duration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(Duration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]

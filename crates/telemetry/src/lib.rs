@@ -1,0 +1,835 @@
+//! Scheduler telemetry: structured tracing + metrics across the FSA
+//! pipeline.
+//!
+//! Every layer of the SPHINX stack (server automaton, runtime cycles,
+//! reliability ledger, grid substrate, WAL, monitor) reports into one
+//! shared [`Telemetry`] instance:
+//!
+//! * **Metrics** — monotonic counters, gauges and fixed-bucket
+//!   [`Histogram`]s keyed by `&'static str` names (no per-observation
+//!   allocation), plus per-site submit/start/complete/hold/cancel tallies.
+//! * **Trace events** — a bounded ring buffer of [`TraceEvent`]s stamped
+//!   with **simulation time only**, optionally fanned out to pluggable
+//!   [`TraceSink`]s (in-memory for tests, JSONL for the figure harness).
+//!
+//! Determinism is a hard requirement: nothing here reads the wall clock,
+//! so two runs with the same seed produce byte-identical traces and
+//! [`TelemetrySnapshot`]s. The only wall-clock metrics in the system
+//! (`wall.*`, recorded by the runtime around the planner) are gated by
+//! [`TelemetryConfig::wall_clock`], which defaults to **off**.
+//!
+//! Metric name inventory (see DESIGN.md §Telemetry for semantics):
+//!
+//! | name | type |
+//! |------|------|
+//! | `dag.submitted`, `dag.finished` | counter |
+//! | `job.eliminated` | counter |
+//! | `plan.cycles`, `plan.jobs_submitted` | counter |
+//! | `plan.reschedules_held`, `plan.reschedules_timeout` | counter |
+//! | `reliability.flagged`, `reliability.unflagged` | counter |
+//! | `wal.appends`, `wal.replays`, `wal.rewrites` | counter |
+//! | `monitor.samples`, `monitor.samples_lost` | counter |
+//! | `grid.submits`, `grid.starts`, `grid.completions`, `grid.holds`, `grid.cancels` | counter |
+//! | `fsa.dwell_ms.{ready,submitted,queued,running,unready}` | histogram |
+//! | `plan.cycle_gap_ms`, `job.completion_ms`, `monitor.sample_age_ms` | histogram |
+//! | `wall.plan_cycle_us` | histogram (opt-in) |
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sphinx_data::SiteId;
+use sphinx_sim::{Duration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::sync::Arc;
+
+/// What a [`TraceEvent`] describes. Kinds cover every FSA transition plus
+/// the infrastructure events around them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A DAG entered the `dags` table (`Received`).
+    DagSubmitted,
+    /// Every job of a DAG reached a terminal state.
+    DagFinished,
+    /// A job's inputs became available (`Unready → Ready`).
+    JobReady,
+    /// The DAG reducer eliminated a job whose outputs already exist.
+    JobEliminated,
+    /// The planner placed a job (`Ready → Submitted`).
+    JobSubmitted,
+    /// Tracker report: the job entered a site's batch queue.
+    JobQueued,
+    /// Tracker report: the job was dispatched onto a CPU.
+    JobRunning,
+    /// Tracker report: the job ran to completion (`→ Finished`).
+    JobCompleted,
+    /// Tracker report: held/killed/timed out; the job goes back to
+    /// `Ready` for replanning.
+    JobCancelled,
+    /// One planner cycle ran.
+    PlanCycle,
+    /// The reliability ledger flagged a site unreliable.
+    SiteFlagged,
+    /// A previously flagged site became eligible again.
+    SiteUnflagged,
+    /// A recovered database replayed committed WAL entries.
+    WalReplay,
+    /// The monitoring system ran one sampling round.
+    MonitorSample,
+    /// Grid substrate: an execution plan arrived at a site gatekeeper.
+    GridSubmit,
+    /// Grid substrate: a SPHINX job started executing.
+    GridStart,
+    /// Grid substrate: a SPHINX job completed at a site.
+    GridComplete,
+    /// Grid substrate: a SPHINX job was held or killed at a site.
+    GridHold,
+    /// Grid substrate: the client cancelled a submission.
+    GridCancel,
+    /// A server was reconstructed from a surviving database.
+    Recovery,
+}
+
+impl TraceKind {
+    /// Stable lower-case label (used in JSONL output headers and tests).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::DagSubmitted => "dag_submitted",
+            TraceKind::DagFinished => "dag_finished",
+            TraceKind::JobReady => "job_ready",
+            TraceKind::JobEliminated => "job_eliminated",
+            TraceKind::JobSubmitted => "job_submitted",
+            TraceKind::JobQueued => "job_queued",
+            TraceKind::JobRunning => "job_running",
+            TraceKind::JobCompleted => "job_completed",
+            TraceKind::JobCancelled => "job_cancelled",
+            TraceKind::PlanCycle => "plan_cycle",
+            TraceKind::SiteFlagged => "site_flagged",
+            TraceKind::SiteUnflagged => "site_unflagged",
+            TraceKind::WalReplay => "wal_replay",
+            TraceKind::MonitorSample => "monitor_sample",
+            TraceKind::GridSubmit => "grid_submit",
+            TraceKind::GridStart => "grid_start",
+            TraceKind::GridComplete => "grid_complete",
+            TraceKind::GridHold => "grid_hold",
+            TraceKind::GridCancel => "grid_cancel",
+            TraceKind::Recovery => "recovery",
+        }
+    }
+}
+
+/// One structured trace record, stamped with simulation time only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation time of the event.
+    pub sim_time: SimTime,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Dense job key ([`sphinx_dag::JobId::as_key`]-style) if the event
+    /// concerns one job.
+    pub job: Option<u64>,
+    /// Site involved, if any.
+    pub site: Option<u32>,
+    /// Free-form detail (state names, counts); empty for hot-path events.
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// Canonical single-line JSON encoding (what [`JsonlSink`] writes).
+    /// Canonical-JSON stability is what makes same-seed traces
+    /// byte-comparable.
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("trace event serializes")
+    }
+}
+
+/// Receives every trace event as it is recorded.
+pub trait TraceSink: Send {
+    /// Observe one event.
+    fn record(&mut self, event: &TraceEvent);
+    /// Flush any buffered output (end of run).
+    fn flush(&mut self) {}
+}
+
+/// Sink that collects events into a shared vector (tests).
+pub struct InMemorySink {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl InMemorySink {
+    /// A fresh sink plus the handle its events can be read through.
+    pub fn new() -> (Self, Arc<Mutex<Vec<TraceEvent>>>) {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        (
+            InMemorySink {
+                events: Arc::clone(&events),
+            },
+            events,
+        )
+    }
+}
+
+impl TraceSink for InMemorySink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Sink that writes one JSON object per line to any writer (the figure
+/// harness points it at `results/telemetry_trace.jsonl`).
+pub struct JsonlSink<W: Write + Send> {
+    writer: W,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        let _ = writeln!(self.writer, "{}", event.to_json_line());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Millisecond-scale latency buckets: 10 ms … 12 h, then overflow. One
+/// fixed layout for every histogram keeps snapshots comparable across
+/// metrics and runs.
+const BUCKET_BOUNDS_MS: [f64; 10] = [
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+    60_000.0,
+    300_000.0,
+    900_000.0,
+    3_600_000.0,
+    14_400_000.0,
+    43_200_000.0,
+];
+
+/// A fixed-bucket histogram (allocation only at construction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            // One overflow bucket past the last bound.
+            counts: vec![0; BUCKET_BOUNDS_MS.len() + 1],
+            sum: 0.0,
+            count: 0,
+            max: 0.0,
+        }
+    }
+}
+
+impl Histogram {
+    fn record(&mut self, value: f64) {
+        let idx = BUCKET_BOUNDS_MS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(BUCKET_BOUNDS_MS.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: BUCKET_BOUNDS_MS.to_vec(),
+            counts: self.counts.clone(),
+            sum: self.sum,
+            count: self.count,
+            max: self.max,
+        }
+    }
+}
+
+/// Serializable view of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds (the final count is the overflow bucket).
+    pub bounds: Vec<f64>,
+    /// Observation count per bucket (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Per-site grid activity tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SiteTally {
+    /// Execution plans submitted to the site.
+    pub submits: u64,
+    /// SPHINX jobs dispatched onto a CPU there.
+    pub starts: u64,
+    /// SPHINX jobs completed there.
+    pub completions: u64,
+    /// SPHINX jobs held/killed there.
+    pub holds: u64,
+    /// Client-side cancellations (timeouts) there.
+    pub cancels: u64,
+}
+
+/// Tuning for one [`Telemetry`] instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Ring-buffer capacity; older events are dropped (and counted) past
+    /// it. Sinks still see every event.
+    pub trace_capacity: usize,
+    /// Allow wall-clock (`wall.*`) metrics. **Off by default** so that
+    /// same-seed runs produce identical snapshots.
+    pub wall_clock: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            trace_capacity: 65_536,
+            wall_clock: false,
+        }
+    }
+}
+
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    sites: BTreeMap<u32, SiteTally>,
+    /// Last-known FSA state and entry time per job key (dwell tracking).
+    job_states: BTreeMap<u64, (&'static str, SimTime)>,
+    ring: VecDeque<TraceEvent>,
+    recorded: u64,
+    dropped: u64,
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+/// The shared telemetry hub. Cheap to clone behind an [`Arc`]; every
+/// method takes `&self` (interior mutex).
+pub struct Telemetry {
+    config: TelemetryConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Telemetry")
+            .field("counters", &inner.counters.len())
+            .field("trace_events", &inner.recorded)
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// Default-configured hub.
+    pub fn new() -> Self {
+        Telemetry::with_config(TelemetryConfig::default())
+    }
+
+    /// Hub with explicit tuning.
+    pub fn with_config(config: TelemetryConfig) -> Self {
+        Telemetry {
+            config,
+            inner: Mutex::new(Inner {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+                sites: BTreeMap::new(),
+                job_states: BTreeMap::new(),
+                ring: VecDeque::new(),
+                recorded: 0,
+                dropped: 0,
+                sinks: Vec::new(),
+            }),
+        }
+    }
+
+    /// Default hub behind an [`Arc`], ready to share across layers.
+    pub fn shared() -> Arc<Telemetry> {
+        Arc::new(Telemetry::new())
+    }
+
+    /// Whether `wall.*` metrics may be recorded.
+    pub fn wall_clock_enabled(&self) -> bool {
+        self.config.wall_clock
+    }
+
+    /// Attach a sink; it receives every event recorded from now on.
+    pub fn add_sink(&self, sink: Box<dyn TraceSink>) {
+        self.inner.lock().sinks.push(sink);
+    }
+
+    /// Flush all attached sinks.
+    pub fn flush_sinks(&self) {
+        for sink in self.inner.lock().sinks.iter_mut() {
+            sink.flush();
+        }
+    }
+
+    // ---- metrics ----
+
+    /// Add to a monotonic counter.
+    pub fn counter_add(&self, name: &'static str, n: u64) {
+        *self.inner.lock().counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Set a gauge.
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        self.inner.lock().gauges.insert(name, value);
+    }
+
+    /// Record one value into a fixed-bucket histogram.
+    pub fn observe(&self, name: &'static str, value: f64) {
+        self.inner
+            .lock()
+            .histograms
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+
+    /// Record a simulated duration (in ms) into a histogram.
+    pub fn observe_ms(&self, name: &'static str, d: Duration) {
+        self.observe(name, d.as_millis() as f64);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    // ---- tracing ----
+
+    /// Record one trace event.
+    pub fn trace(
+        &self,
+        kind: TraceKind,
+        sim_time: SimTime,
+        job: Option<u64>,
+        site: Option<SiteId>,
+        detail: String,
+    ) {
+        let event = TraceEvent {
+            sim_time,
+            kind,
+            job,
+            site: site.map(|s| s.0),
+            detail,
+        };
+        let mut inner = self.inner.lock();
+        inner.recorded += 1;
+        for sink in inner.sinks.iter_mut() {
+            sink.record(&event);
+        }
+        if inner.ring.len() >= self.config.trace_capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(event);
+    }
+
+    /// Number of events currently buffered.
+    pub fn trace_len(&self) -> usize {
+        self.inner.lock().ring.len()
+    }
+
+    /// Take every buffered event, oldest first (the buffer empties).
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        self.inner.lock().ring.drain(..).collect()
+    }
+
+    /// Render the buffered trace as JSONL without draining it.
+    pub fn trace_jsonl(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for event in &inner.ring {
+            out.push_str(&event.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    // ---- FSA dwell tracking ----
+
+    /// Note that job `job` entered FSA state `state` at `now`, recording
+    /// the dwell time of the state it left into
+    /// `fsa.dwell_ms.<prev-state>`. Terminal states drop the tracking
+    /// entry (bounded memory across long campaigns).
+    pub fn note_job_state(&self, job: u64, state: &'static str, now: SimTime) {
+        let terminal = matches!(state, "finished" | "eliminated");
+        let mut inner = self.inner.lock();
+        let prev = if terminal {
+            inner.job_states.remove(&job)
+        } else {
+            inner.job_states.insert(job, (state, now))
+        };
+        if let Some((prev_state, since)) = prev {
+            let dwell = now.since(since).as_millis() as f64;
+            inner
+                .histograms
+                .entry(dwell_metric(prev_state))
+                .or_default()
+                .record(dwell);
+        }
+    }
+
+    // ---- grid per-site hooks ----
+
+    /// Execution plan submitted to `site` for job `job`.
+    pub fn grid_submit(&self, site: SiteId, job: u64, now: SimTime) {
+        self.site_event(TraceKind::GridSubmit, "grid.submits", site, job, now, |t| {
+            t.submits += 1
+        });
+    }
+
+    /// SPHINX job dispatched onto a CPU at `site`.
+    pub fn grid_start(&self, site: SiteId, job: u64, now: SimTime) {
+        self.site_event(TraceKind::GridStart, "grid.starts", site, job, now, |t| {
+            t.starts += 1
+        });
+    }
+
+    /// SPHINX job completed at `site`.
+    pub fn grid_complete(&self, site: SiteId, job: u64, now: SimTime) {
+        self.site_event(
+            TraceKind::GridComplete,
+            "grid.completions",
+            site,
+            job,
+            now,
+            |t| t.completions += 1,
+        );
+    }
+
+    /// SPHINX job held or killed at `site`.
+    pub fn grid_hold(&self, site: SiteId, job: u64, now: SimTime) {
+        self.site_event(TraceKind::GridHold, "grid.holds", site, job, now, |t| {
+            t.holds += 1
+        });
+    }
+
+    /// Client cancelled a submission at `site`.
+    pub fn grid_cancel(&self, site: SiteId, job: u64, now: SimTime) {
+        self.site_event(TraceKind::GridCancel, "grid.cancels", site, job, now, |t| {
+            t.cancels += 1
+        });
+    }
+
+    fn site_event(
+        &self,
+        kind: TraceKind,
+        counter: &'static str,
+        site: SiteId,
+        job: u64,
+        now: SimTime,
+        bump: impl FnOnce(&mut SiteTally),
+    ) {
+        {
+            let mut inner = self.inner.lock();
+            *inner.counters.entry(counter).or_insert(0) += 1;
+            bump(inner.sites.entry(site.0).or_default());
+        }
+        self.trace(kind, now, Some(job), Some(site), String::new());
+    }
+
+    // ---- snapshot ----
+
+    /// Copy out every metric. Two same-seed runs produce equal snapshots
+    /// (wall-clock metrics are opt-in and default off).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let inner = self.inner.lock();
+        TelemetrySnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| ((*k).to_owned(), h.snapshot()))
+                .collect(),
+            sites: inner.sites.clone(),
+            trace_recorded: inner.recorded,
+            trace_dropped: inner.dropped,
+        }
+    }
+}
+
+/// Histogram name for dwell time in a given FSA state.
+fn dwell_metric(state: &str) -> &'static str {
+    match state {
+        "unready" => "fsa.dwell_ms.unready",
+        "ready" => "fsa.dwell_ms.ready",
+        "submitted" => "fsa.dwell_ms.submitted",
+        "queued" => "fsa.dwell_ms.queued",
+        "running" => "fsa.dwell_ms.running",
+        _ => "fsa.dwell_ms.other",
+    }
+}
+
+/// Point-in-time copy of every metric in a [`Telemetry`] hub. Attached to
+/// the run report; byte-identical across same-seed runs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Per-site grid tallies, keyed by site id.
+    pub sites: BTreeMap<u32, SiteTally>,
+    /// Trace events recorded over the run (including any dropped from the
+    /// ring).
+    pub trace_recorded: u64,
+    /// Trace events dropped from the ring buffer (capacity overflow).
+    pub trace_dropped: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Number of distinct metric series (counters + gauges + histograms +
+    /// non-empty site tally columns).
+    pub fn distinct_metrics(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Convenience counter lookup (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn counters_gauges_histograms_round_trip_snapshot() {
+        let tel = Telemetry::new();
+        tel.counter_add("plan.cycles", 2);
+        tel.counter_add("plan.cycles", 1);
+        tel.gauge_set("monitor.visible_sites", 4.0);
+        tel.observe_ms("plan.cycle_gap_ms", Duration::from_secs(15));
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("plan.cycles"), 3);
+        assert_eq!(snap.gauges["monitor.visible_sites"], 4.0);
+        let h = &snap.histograms["plan.cycle_gap_ms"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.mean(), 15_000.0);
+        // Snapshot itself serializes and round-trips.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::default();
+        h.record(5.0); // bucket 0 (<=10ms)
+        h.record(50_000.0); // <=60s
+        h.record(1e9); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[4], 1);
+        assert_eq!(*s.counts.last().unwrap(), 1);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, 1e9);
+    }
+
+    #[test]
+    fn dwell_tracking_measures_previous_state() {
+        let tel = Telemetry::new();
+        tel.note_job_state(7, "ready", t(0));
+        tel.note_job_state(7, "submitted", t(10));
+        tel.note_job_state(7, "queued", t(12));
+        tel.note_job_state(7, "running", t(40));
+        tel.note_job_state(7, "finished", t(100));
+        let snap = tel.snapshot();
+        assert_eq!(snap.histograms["fsa.dwell_ms.ready"].sum, 10_000.0);
+        assert_eq!(snap.histograms["fsa.dwell_ms.submitted"].sum, 2_000.0);
+        assert_eq!(snap.histograms["fsa.dwell_ms.queued"].sum, 28_000.0);
+        assert_eq!(snap.histograms["fsa.dwell_ms.running"].sum, 60_000.0);
+        // Terminal state dropped the tracking entry.
+        assert_eq!(tel.inner.lock().job_states.len(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_caps_and_counts_drops() {
+        let tel = Telemetry::with_config(TelemetryConfig {
+            trace_capacity: 2,
+            wall_clock: false,
+        });
+        for i in 0..5u64 {
+            tel.trace(TraceKind::PlanCycle, t(i), None, None, String::new());
+        }
+        assert_eq!(tel.trace_len(), 2);
+        let snap = tel.snapshot();
+        assert_eq!(snap.trace_recorded, 5);
+        assert_eq!(snap.trace_dropped, 3);
+        let events = tel.drain_trace();
+        assert_eq!(events[0].sim_time, t(3));
+        assert_eq!(events[1].sim_time, t(4));
+        assert_eq!(tel.trace_len(), 0);
+    }
+
+    #[test]
+    fn sinks_see_every_event_even_past_capacity() {
+        let tel = Telemetry::with_config(TelemetryConfig {
+            trace_capacity: 1,
+            wall_clock: false,
+        });
+        let (sink, handle) = InMemorySink::new();
+        tel.add_sink(Box::new(sink));
+        for i in 0..4u64 {
+            tel.trace(
+                TraceKind::GridSubmit,
+                t(i),
+                Some(i),
+                Some(SiteId(0)),
+                String::new(),
+            );
+        }
+        assert_eq!(handle.lock().len(), 4);
+        assert_eq!(handle.lock()[0].job, Some(0));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let tel = Telemetry::new();
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        tel.add_sink(Box::new(JsonlSink::new(SharedBuf(Arc::clone(&buf)))));
+        tel.trace(
+            TraceKind::JobQueued,
+            t(1),
+            Some(9),
+            Some(SiteId(3)),
+            String::new(),
+        );
+        tel.trace(
+            TraceKind::JobRunning,
+            t(2),
+            Some(9),
+            Some(SiteId(3)),
+            String::new(),
+        );
+        tel.flush_sinks();
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"JobQueued\""));
+        assert!(lines[1].contains("\"site\":3"));
+    }
+
+    #[test]
+    fn site_tallies_accumulate_per_site() {
+        let tel = Telemetry::new();
+        tel.grid_submit(SiteId(0), 1, t(0));
+        tel.grid_start(SiteId(0), 1, t(1));
+        tel.grid_complete(SiteId(0), 1, t(2));
+        tel.grid_submit(SiteId(1), 2, t(0));
+        tel.grid_hold(SiteId(1), 2, t(3));
+        tel.grid_cancel(SiteId(1), 2, t(4));
+        let snap = tel.snapshot();
+        assert_eq!(
+            snap.sites[&0],
+            SiteTally {
+                submits: 1,
+                starts: 1,
+                completions: 1,
+                holds: 0,
+                cancels: 0
+            }
+        );
+        assert_eq!(snap.sites[&1].holds, 1);
+        assert_eq!(snap.sites[&1].cancels, 1);
+        assert_eq!(snap.counter("grid.submits"), 2);
+        assert_eq!(snap.trace_recorded, 6);
+    }
+
+    #[test]
+    fn trace_events_round_trip_as_json_lines() {
+        let event = TraceEvent {
+            sim_time: t(42),
+            kind: TraceKind::SiteFlagged,
+            job: None,
+            site: Some(5),
+            detail: "window 3/1".to_owned(),
+        };
+        let line = event.to_json_line();
+        let back: TraceEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, event);
+        assert_eq!(TraceKind::SiteFlagged.label(), "site_flagged");
+    }
+
+    #[test]
+    fn identical_operation_sequences_give_identical_jsonl() {
+        let run = || {
+            let tel = Telemetry::new();
+            for i in 0..50u64 {
+                tel.note_job_state(i % 7, "queued", t(i));
+                tel.grid_submit(SiteId((i % 3) as u32), i, t(i));
+            }
+            (tel.trace_jsonl(), tel.snapshot())
+        };
+        let (ja, sa) = run();
+        let (jb, sb) = run();
+        assert_eq!(ja, jb, "trace bytes must match");
+        assert_eq!(sa, sb, "snapshots must match");
+    }
+}

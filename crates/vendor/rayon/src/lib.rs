@@ -1,0 +1,50 @@
+//! Offline stand-in for `rayon`.
+//!
+//! `par_iter()` returns the ordinary sequential iterator; callers keep
+//! the same code shape (`.par_iter().map(..).collect()`) and results are
+//! identical (and trivially deterministic), just without the parallelism.
+
+pub mod prelude {
+    //! `use rayon::prelude::*;` surface.
+
+    /// Types offering a by-reference "parallel" iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item yielded by the iterator.
+        type Item: 'data;
+        /// Iterator type returned by [`par_iter`](Self::par_iter).
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterate over `&self`; sequential in this stand-in.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let xs = vec![1u64, 2, 3];
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+}

@@ -1,0 +1,368 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal, self-contained replacement that covers exactly the
+//! surface the SPHINX crates use: `#[derive(Serialize, Deserialize)]` on
+//! structs and enums (externally tagged, plus `#[serde(tag = "...")]`
+//! internally tagged), `#[serde(default)]`, `serde::de::DeserializeOwned`
+//! bounds, and JSON round-tripping through `serde_json`.
+//!
+//! Unlike real serde there is no generic `Serializer`/`Deserializer`
+//! abstraction: everything funnels through a single canonical [`Value`]
+//! tree (re-exported by the vendored `serde_json`). That is sufficient —
+//! and deliberately deterministic: objects are `BTreeMap`s, so encodings
+//! are canonical and byte-stable across runs, which the telemetry replay
+//! tests rely on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::{Number, Value};
+
+/// Types that can be converted into a canonical [`Value`] tree.
+pub trait Serialize {
+    /// Encode `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Decode from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+
+    /// Value to use when a struct field is absent entirely (`Option`
+    /// fields deserialize to `None`, mirroring serde's behaviour).
+    #[doc(hidden)]
+    fn from_missing() -> Option<Self> {
+        None
+    }
+}
+
+pub mod de {
+    //! Deserialization support types (`serde::de::DeserializeOwned`).
+
+    /// Deserialization error: a plain message.
+    #[derive(Debug, Clone)]
+    pub struct Error(String);
+
+    impl Error {
+        /// Build an error from any displayable message.
+        pub fn custom(msg: impl std::fmt::Display) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Marker for types deserializable without borrowing from the input.
+    /// Every [`crate::Deserialize`] type qualifies here.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_bool()
+            .ok_or_else(|| de::Error::custom(format!("expected bool, got {v}")))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| de::Error::custom(format!("expected unsigned integer, got {v}")))?;
+                <$t>::try_from(n)
+                    .map_err(|_| de::Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| de::Error::custom(format!("expected integer, got {v}")))?;
+                <$t>::try_from(n)
+                    .map_err(|_| de::Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_f64()
+            .ok_or_else(|| de::Error::custom(format!("expected number, got {v}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| de::Error::custom(format!("expected string, got {v}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_array()
+            .ok_or_else(|| de::Error::custom(format!("expected array, got {v}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let arr = v
+            .as_array()
+            .filter(|a| a.len() == 2)
+            .ok_or_else(|| de::Error::custom(format!("expected 2-element array, got {v}")))?;
+        Ok((A::from_value(&arr[0])?, B::from_value(&arr[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let arr = v
+            .as_array()
+            .filter(|a| a.len() == 3)
+            .ok_or_else(|| de::Error::custom(format!("expected 3-element array, got {v}")))?;
+        Ok((
+            A::from_value(&arr[0])?,
+            B::from_value(&arr[1])?,
+            C::from_value(&arr[2])?,
+        ))
+    }
+}
+
+/// Render a serialized map key as the JSON object key, following
+/// serde_json's rule that integer (and other scalar) keys become strings.
+fn key_to_string(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Number(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Recover a typed map key from its JSON object-key string.
+fn key_from_str<K: Deserialize>(s: &str) -> Result<K, de::Error> {
+    if let Ok(k) = K::from_value(&Value::String(s.to_owned())) {
+        return Ok(k);
+    }
+    if let Some(n) = Number::parse(s) {
+        if let Ok(k) = K::from_value(&Value::Number(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(b) = s.parse::<bool>() {
+        if let Ok(k) = K::from_value(&Value::Bool(b)) {
+            return Ok(k);
+        }
+    }
+    Err(de::Error::custom(format!("cannot decode map key {s:?}")))
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_object()
+            .ok_or_else(|| de::Error::custom(format!("expected object, got {v}")))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_str(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip() {
+        assert_eq!(Some(3u32).to_value(), Value::Number(Number::U(3)));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_missing(), Some(None));
+        assert_eq!(u32::from_missing(), None);
+    }
+
+    #[test]
+    fn map_with_integer_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(7u32, "seven".to_owned());
+        let v = m.to_value();
+        assert_eq!(v.to_string(), r#"{"7":"seven"}"#);
+        let back: BTreeMap<u32, String> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn signed_values_canonicalize_to_unsigned() {
+        // Non-negative signed integers encode as the U variant so that a
+        // freshly-serialized value compares equal to one re-parsed from
+        // its textual form.
+        assert_eq!(5i32.to_value(), Value::Number(Number::U(5)));
+        assert_eq!((-5i32).to_value(), Value::Number(Number::I(-5)));
+    }
+}

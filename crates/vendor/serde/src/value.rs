@@ -1,0 +1,281 @@
+//! The canonical JSON value tree shared by the vendored `serde` and
+//! `serde_json`.
+//!
+//! Objects are `BTreeMap`s so every encoding is canonical: a given value
+//! always prints to the same bytes, independent of insertion order. The
+//! `Display` impl *is* the compact JSON encoding — secondary indexes in
+//! `sphinx-db` key on it, and the telemetry determinism suite compares it
+//! byte-for-byte.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number.
+///
+/// Constructors canonicalize: every non-negative integer is stored as
+/// `U`, negative integers as `I`, and only non-integral values as `F`.
+/// This keeps freshly-serialized values `==` to values re-parsed from
+/// their own text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// Canonical number from an unsigned integer.
+    pub fn from_u64(n: u64) -> Self {
+        Number::U(n)
+    }
+
+    /// Canonical number from a signed integer.
+    pub fn from_i64(n: i64) -> Self {
+        if n >= 0 {
+            Number::U(n as u64)
+        } else {
+            Number::I(n)
+        }
+    }
+
+    /// Parse a JSON number literal (used for both document parsing and
+    /// map-key recovery). Returns `None` if `s` is not a valid number.
+    pub fn parse(s: &str) -> Option<Number> {
+        if s.is_empty() {
+            return None;
+        }
+        let looks_float = s.contains(['.', 'e', 'E']);
+        if !looks_float {
+            if let Ok(u) = s.parse::<u64>() {
+                return Some(Number::U(u));
+            }
+            if let Ok(i) = s.parse::<i64>() {
+                return Some(Number::from_i64(i));
+            }
+        }
+        s.parse::<f64>().ok().filter(|f| f.is_finite()).map(Number::F)
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U(n) => write!(f, "{n}"),
+            Number::I(n) => write!(f, "{n}"),
+            Number::F(n) if n.is_finite() => {
+                // Ensure floats keep a float-shaped literal where they are
+                // integral, matching serde_json ("1.0", not "1").
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{n:.1}")
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            // serde_json refuses to encode non-finite floats; encode as
+            // null to stay inside the JSON grammar.
+            Number::F(_) => f.write_str("null"),
+        }
+    }
+}
+
+/// A JSON document value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// A key-sorted object.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// True if the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The string slice if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::U(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::I(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::U(n)) => Some(*n as f64),
+            Value::Number(Number::I(n)) => Some(*n as f64),
+            Value::Number(Number::F(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The element list if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The member map if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object member by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// RFC 6901 JSON-pointer lookup (`""` is the whole document,
+    /// `"/a/0/b"` descends through objects and arrays).
+    pub fn pointer(&self, pointer: &str) -> Option<&Value> {
+        if pointer.is_empty() {
+            return Some(self);
+        }
+        if !pointer.starts_with('/') {
+            return None;
+        }
+        pointer
+            .split('/')
+            .skip(1)
+            .map(|tok| tok.replace("~1", "/").replace("~0", "~"))
+            .try_fold(self, |cur, tok| match cur {
+                Value::Object(m) => m.get(&tok),
+                Value::Array(a) => tok.parse::<usize>().ok().and_then(|i| a.get(i)),
+                _ => None,
+            })
+    }
+}
+
+/// Write `s` as a JSON string literal, escaping per RFC 8259.
+pub fn write_escaped(f: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{08}' => f.write_str("\\b")?,
+            '\u{0c}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+impl fmt::Display for Value {
+    /// Compact canonical JSON.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(a) => {
+                f.write_str("[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(m) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_canonical_json() {
+        let mut m = BTreeMap::new();
+        m.insert("b".to_owned(), Value::Number(Number::U(1)));
+        m.insert("a".to_owned(), Value::String("x\"y".to_owned()));
+        let v = Value::Object(m);
+        assert_eq!(v.to_string(), r#"{"a":"x\"y","b":1}"#);
+    }
+
+    #[test]
+    fn pointer_descends_objects_and_arrays() {
+        let mut inner = BTreeMap::new();
+        inner.insert(
+            "xs".to_owned(),
+            Value::Array(vec![Value::Null, Value::Bool(true)]),
+        );
+        let mut outer = BTreeMap::new();
+        outer.insert("a".to_owned(), Value::Object(inner));
+        let v = Value::Object(outer);
+        assert_eq!(v.pointer("/a/xs/1"), Some(&Value::Bool(true)));
+        assert_eq!(v.pointer("/a/missing"), None);
+        assert_eq!(v.pointer(""), Some(&v));
+    }
+
+    #[test]
+    fn float_formatting_keeps_float_shape() {
+        assert_eq!(Number::F(1.0).to_string(), "1.0");
+        assert_eq!(Number::F(0.5).to_string(), "0.5");
+        assert_eq!(Number::parse("1.0"), Some(Number::F(1.0)));
+        assert_eq!(Number::parse("17"), Some(Number::U(17)));
+        assert_eq!(Number::parse("-4"), Some(Number::I(-4)));
+    }
+}

@@ -1,0 +1,563 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored value-centric `serde` crate, using only the compiler's
+//! built-in `proc_macro` API (no `syn`/`quote`, which are unavailable
+//! offline). The supported shapes are exactly those this workspace uses:
+//!
+//! - named-field structs (with `#[serde(default)]` on fields)
+//! - single-field tuple ("newtype") structs
+//! - enums of unit and struct variants, externally tagged by default or
+//!   internally tagged via `#[serde(tag = "...", rename_all = "snake_case")]`
+//!
+//! Anything else (generics, tuple variants, unions) produces a
+//! `compile_error!` naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+    /// `#[serde(tag = "...")]` on the container, if any.
+    tag: Option<String>,
+    /// `#[serde(rename_all = "snake_case")]` on the container.
+    snake_case: bool,
+}
+
+struct SerdeAttr {
+    tag: Option<String>,
+    rename_all: Option<String>,
+    default: bool,
+}
+
+fn err(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Strip the surrounding quotes from a string literal's token text.
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_owned()
+}
+
+/// Parse the contents of one `#[serde(...)]` attribute group.
+fn parse_serde_attr(tokens: Vec<TokenTree>) -> SerdeAttr {
+    let mut attr = SerdeAttr {
+        tag: None,
+        rename_all: None,
+        default: false,
+    };
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) => {
+                let key = id.to_string();
+                // `key = "value"` or bare `key`
+                if i + 2 < tokens.len()
+                    && matches!(&tokens[i + 1], TokenTree::Punct(p) if p.as_char() == '=')
+                {
+                    let val = unquote(&tokens[i + 2].to_string());
+                    match key.as_str() {
+                        "tag" => attr.tag = Some(val),
+                        "rename_all" => attr.rename_all = Some(val),
+                        _ => {}
+                    }
+                    i += 3;
+                } else {
+                    if key == "default" {
+                        attr.default = true;
+                    }
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    attr
+}
+
+/// Consume any leading `#[...]` attributes at `*i`, folding `serde`
+/// attributes into the returned summary and skipping the rest (docs,
+/// other derives' helpers).
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttr {
+    let mut acc = SerdeAttr {
+        tag: None,
+        rename_all: None,
+        default: false,
+    };
+    while *i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*i] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    let parsed = parse_serde_attr(args.stream().into_iter().collect());
+                    acc.tag = acc.tag.or(parsed.tag);
+                    acc.rename_all = acc.rename_all.or(parsed.rename_all);
+                    acc.default |= parsed.default;
+                }
+            }
+        }
+        *i += 2;
+    }
+    acc
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …) at `*i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parse the named fields inside a struct (or struct-variant) brace group.
+fn parse_fields(group: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attr = take_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            return Err(format!("expected field name, got {:?}", tokens.get(i).map(|t| t.to_string())));
+        };
+        let name = name.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, got {:?}",
+                    other.map(|t| t.to_string())
+                ))
+            }
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // consume the comma
+        }
+        fields.push(Field {
+            name,
+            has_default: attr.default,
+        });
+    }
+    Ok(fields)
+}
+
+/// Parse the variants inside an enum brace group.
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _attr = take_attrs(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            return Err(format!(
+                "expected variant name, got {:?}",
+                tokens.get(i).map(|t| t.to_string())
+            ));
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_fields(g.stream())?;
+                i += 1;
+                Some(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("tuple enum variant `{name}` is not supported"));
+            }
+            _ => None,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(other) => {
+                return Err(format!(
+                    "expected `,` after variant `{name}`, got {}",
+                    other
+                ))
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let container = take_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {:?}", other.map(|t| t.to_string()))),
+    };
+    i += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+        return Err("expected type name".to_owned());
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` is not supported by the vendored serde derive"));
+        }
+    }
+    let shape = match (keyword.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct(parse_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let has_top_level_comma = {
+                let mut depth = 0i32;
+                let mut found = false;
+                let mut trailing = false;
+                for (idx, t) in inner.iter().enumerate() {
+                    if let TokenTree::Punct(p) = t {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 => {
+                                found = true;
+                                trailing = idx == inner.len() - 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                found && !trailing
+            };
+            if has_top_level_comma {
+                return Err(format!(
+                    "multi-field tuple struct `{name}` is not supported by the vendored serde derive"
+                ));
+            }
+            Shape::NewtypeStruct
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream())?)
+        }
+        (kw, _) => return Err(format!("unsupported item shape for `{kw} {name}`")),
+    };
+    Ok(Parsed {
+        name,
+        shape,
+        tag: container.tag,
+        snake_case: container.rename_all.as_deref() == Some("snake_case"),
+    })
+}
+
+/// serde's `rename_all = "snake_case"` rule for variant names.
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl Parsed {
+    fn variant_key(&self, variant: &str) -> String {
+        if self.snake_case {
+            snake_case(variant)
+        } else {
+            variant.to_owned()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+/// `__m.insert("name", to_value(<expr>));` lines for a field list, where
+/// each field value expression is produced by `value_of`.
+fn ser_fields(fields: &[Field], map: &str, value_of: impl Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{map}.insert(::std::string::String::from({n:?}), ::serde::Serialize::to_value({v}));\n",
+                n = f.name,
+                v = value_of(&f.name)
+            )
+        })
+        .collect()
+}
+
+/// Expression extracting one typed field from an object map expression.
+fn de_field(obj: &str, f: &Field) -> String {
+    let missing = if f.has_default {
+        "::std::default::Default::default()".to_owned()
+    } else {
+        format!(
+            "match ::serde::Deserialize::from_missing() {{ \
+               ::std::option::Option::Some(__d) => __d, \
+               ::std::option::Option::None => return ::std::result::Result::Err(\
+                   ::serde::de::Error::custom(concat!(\"missing field `\", {:?}, \"`\"))), \
+             }}",
+            f.name
+        )
+    };
+    format!(
+        "match {obj}.get({n:?}) {{ \
+           ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+           ::std::option::Option::None => {missing}, \
+         }}",
+        n = f.name
+    )
+}
+
+fn de_field_inits(obj: &str, fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{}: {},\n", f.name, de_field(obj, f)))
+        .collect()
+}
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct(fields) => format!(
+            "let mut __m = ::std::collections::BTreeMap::new();\n\
+             {inserts}\
+             ::serde::Value::Object(__m)",
+            inserts = ser_fields(fields, "__m", |f| format!("&self.{f}"))
+        ),
+        Shape::NewtypeStruct => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let key = p.variant_key(&v.name);
+                    match (&v.fields, &p.tag) {
+                        (None, None) => format!(
+                            "{name}::{v} => ::serde::Value::String(::std::string::String::from({key:?})),\n",
+                            v = v.name
+                        ),
+                        (None, Some(tag)) => format!(
+                            "{name}::{v} => {{\n\
+                               let mut __m = ::std::collections::BTreeMap::new();\n\
+                               __m.insert(::std::string::String::from({tag:?}), ::serde::Value::String(::std::string::String::from({key:?})));\n\
+                               ::serde::Value::Object(__m)\n\
+                             }}\n",
+                            v = v.name
+                        ),
+                        (Some(fields), None) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            format!(
+                                "{name}::{v} {{ {binds} }} => {{\n\
+                                   let mut __fields = ::std::collections::BTreeMap::new();\n\
+                                   {inserts}\
+                                   let mut __outer = ::std::collections::BTreeMap::new();\n\
+                                   __outer.insert(::std::string::String::from({key:?}), ::serde::Value::Object(__fields));\n\
+                                   ::serde::Value::Object(__outer)\n\
+                                 }}\n",
+                                v = v.name,
+                                binds = binds.join(", "),
+                                inserts = ser_fields(fields, "__fields", |f| f.to_owned())
+                            )
+                        }
+                        (Some(fields), Some(tag)) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            format!(
+                                "{name}::{v} {{ {binds} }} => {{\n\
+                                   let mut __fields = ::std::collections::BTreeMap::new();\n\
+                                   __fields.insert(::std::string::String::from({tag:?}), ::serde::Value::String(::std::string::String::from({key:?})));\n\
+                                   {inserts}\
+                                   ::serde::Value::Object(__fields)\n\
+                                 }}\n",
+                                v = v.name,
+                                binds = binds.join(", "),
+                                inserts = ser_fields(fields, "__fields", |f| f.to_owned())
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n\
+             {body}\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct(fields) => format!(
+            "let __obj = match __v {{\n\
+               ::serde::Value::Object(__m) => __m,\n\
+               __other => return ::std::result::Result::Err(::serde::de::Error::custom(\
+                   format!(concat!(\"expected object for \", {name:?}, \", got {{}}\"), __other))),\n\
+             }};\n\
+             ::std::result::Result::Ok({name} {{\n{inits}}})",
+            inits = de_field_inits("__obj", fields)
+        ),
+        Shape::NewtypeStruct => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Shape::Enum(variants) => match &p.tag {
+            None => {
+                let unit_arms: String = variants
+                    .iter()
+                    .filter(|v| v.fields.is_none())
+                    .map(|v| {
+                        format!(
+                            "{key:?} => return ::std::result::Result::Ok({name}::{v}),\n",
+                            key = p.variant_key(&v.name),
+                            v = v.name
+                        )
+                    })
+                    .collect();
+                let struct_arms: String = variants
+                    .iter()
+                    .filter_map(|v| v.fields.as_ref().map(|f| (v, f)))
+                    .map(|(v, fields)| {
+                        format!(
+                            "if let ::std::option::Option::Some(__inner) = __outer.get({key:?}) {{\n\
+                               let __obj = __inner.as_object().ok_or_else(|| ::serde::de::Error::custom(\
+                                   concat!(\"expected object for variant \", {key:?})))?;\n\
+                               return ::std::result::Result::Ok({name}::{v} {{\n{inits}}});\n\
+                             }}\n",
+                            key = p.variant_key(&v.name),
+                            v = v.name,
+                            inits = de_field_inits("__obj", fields)
+                        )
+                    })
+                    .collect();
+                format!(
+                    "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                       match __s {{\n{unit_arms}_ => {{}}\n}}\n\
+                     }}\n\
+                     if let ::std::option::Option::Some(__outer) = __v.as_object() {{\n\
+                       {struct_arms}\
+                     }}\n\
+                     ::std::result::Result::Err(::serde::de::Error::custom(\
+                         format!(concat!(\"unrecognized \", {name:?}, \" variant: {{}}\"), __v)))"
+                )
+            }
+            Some(tag) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|v| {
+                        let key = p.variant_key(&v.name);
+                        match &v.fields {
+                            None => format!(
+                                "{key:?} => ::std::result::Result::Ok({name}::{v}),\n",
+                                v = v.name
+                            ),
+                            Some(fields) => format!(
+                                "{key:?} => ::std::result::Result::Ok({name}::{v} {{\n{inits}}}),\n",
+                                v = v.name,
+                                inits = de_field_inits("__obj", fields)
+                            ),
+                        }
+                    })
+                    .collect();
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| ::serde::de::Error::custom(\
+                         concat!(\"expected object for \", {name:?})))?;\n\
+                     let __tag = __obj.get({tag:?}).and_then(|__t| __t.as_str()).ok_or_else(|| \
+                         ::serde::de::Error::custom(concat!(\"missing tag `\", {tag:?}, \"`\")))?;\n\
+                     match __tag {{\n{arms}\
+                       __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                           format!(concat!(\"unrecognized \", {name:?}, \" tag: {{}}\"), __other))),\n\
+                     }}"
+                )
+            }
+        },
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+             {body}\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed).parse().unwrap(),
+        Err(e) => err(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed).parse().unwrap(),
+        Err(e) => err(&e),
+    }
+}

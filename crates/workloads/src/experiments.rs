@@ -366,7 +366,10 @@ pub struct RecoveryOutcome {
 /// (and its tracker) mid-workload, recover a new server from the
 /// write-ahead log against the *still-running* grid, and finish every DAG.
 pub fn recovery(params: ExperimentParams, crash_after: Duration) -> RecoveryOutcome {
-    let scenario = params.base(2).strategy(StrategyKind::CompletionTime).build();
+    let scenario = params
+        .base(2)
+        .strategy(StrategyKind::CompletionTime)
+        .build();
     let wal = MemWal::shared();
     let db = Arc::new(Database::with_wal(Box::new(wal.clone())));
 
@@ -460,7 +463,10 @@ mod tests {
     fn recovery_quick_finishes_everything() {
         let outcome = recovery(ExperimentParams::quick(4), Duration::from_mins(4));
         assert!(outcome.report.finished, "{}", outcome.report.summary());
-        assert_eq!(outcome.report.jobs_completed + outcome.report.jobs_eliminated, 16);
+        assert_eq!(
+            outcome.report.jobs_completed + outcome.report.jobs_eliminated,
+            16
+        );
         assert!(outcome.wal_entries > 0);
     }
 }

@@ -157,10 +157,7 @@ impl Scenario {
 
     /// Like [`Scenario::build_runtime`] but over an explicit database —
     /// a WAL-backed one enables the crash-recovery experiment.
-    pub fn build_runtime_with_db(
-        &self,
-        db: std::sync::Arc<sphinx_db::Database>,
-    ) -> SphinxRuntime {
+    pub fn build_runtime_with_db(&self, db: std::sync::Arc<sphinx_db::Database>) -> SphinxRuntime {
         let sites = self.faulted_sites();
         let site_ids: Vec<SiteId> = sites.iter().map(|s| s.id).collect();
         let mut grid = GridSim::new(sites, self.transfer_model(), self.seed);
@@ -345,7 +342,11 @@ mod tests {
         let scenario = quick()
             .strategy(StrategyKind::QueueLength)
             .quota(Requirement::new(100, 100))
-            .faults(FaultPlan { black_holes: 1, flaky: 0, ..FaultPlan::default() })
+            .faults(FaultPlan {
+                black_holes: 1,
+                flaky: 0,
+                ..FaultPlan::default()
+            })
             .build();
         let json = serde_json::to_string_pretty(&scenario).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
@@ -392,8 +393,16 @@ mod tests {
             })
             .strategy(StrategyKind::QueueLength)
             .build();
-        let f1: Vec<bool> = s1.faulted_sites().iter().map(|s| s.faults.black_hole).collect();
-        let f2: Vec<bool> = s2.faulted_sites().iter().map(|s| s.faults.black_hole).collect();
+        let f1: Vec<bool> = s1
+            .faulted_sites()
+            .iter()
+            .map(|s| s.faults.black_hole)
+            .collect();
+        let f2: Vec<bool> = s2
+            .faulted_sites()
+            .iter()
+            .map(|s| s.faults.black_hole)
+            .collect();
         assert_eq!(f1, f2, "same seed, same victims regardless of strategy");
         assert_eq!(f1.iter().filter(|&&b| b).count(), 1);
     }

@@ -43,7 +43,10 @@ fn campaign(strategy: StrategyKind) -> sphinx::core::RunReport {
 
 fn main() {
     println!("CMS-style production: 4 campaigns × 60 jobs, 4-layer pipelines");
-    println!("grid: 15 Grid3 sites / {} CPUs, 1 black hole + 2 flaky sites\n", grid3::total_cpus());
+    println!(
+        "grid: 15 Grid3 sites / {} CPUs, 1 black hole + 2 flaky sites\n",
+        grid3::total_cpus()
+    );
 
     let smart = campaign(StrategyKind::CompletionTime);
     let naive = campaign(StrategyKind::RoundRobin);
@@ -51,10 +54,7 @@ fn main() {
     for (name, r) in [("completion-time hybrid", &smart), ("round-robin", &naive)] {
         println!(
             "{name:>22}: avg campaign {:.0} s, {} jobs, {} timeouts, {} holds",
-            r.avg_dag_completion_secs,
-            r.jobs_completed,
-            r.timeouts,
-            r.holds
+            r.avg_dag_completion_secs, r.jobs_completed, r.timeouts, r.holds
         );
     }
 

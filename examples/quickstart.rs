@@ -5,10 +5,11 @@
 //! ```
 //!
 //! This is the smallest end-to-end use of the public API: build a
-//! scenario (grid + workload + SPHINX configuration), run it, inspect the
-//! report.
+//! scenario (grid + workload + SPHINX configuration), attach a JSONL
+//! trace sink, run it, inspect the report and the telemetry counters.
 
 use sphinx::core::strategy::StrategyKind;
+use sphinx::telemetry::JsonlSink;
 use sphinx::workloads::{grid3, Scenario};
 
 fn main() {
@@ -20,7 +21,18 @@ fn main() {
         .build();
 
     println!("Scheduling 2 DAGs × 20 jobs on a 4-site grid…\n");
-    let report = scenario.run();
+    let mut rt = scenario.build_runtime();
+
+    // Stream every trace event (FSA transitions, plan cycles, grid
+    // lifecycle, …) to a JSONL file as the run progresses.
+    let trace_file = std::fs::File::create("quickstart_trace.jsonl").expect("create trace file");
+    rt.telemetry()
+        .add_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(
+            trace_file,
+        ))));
+
+    let report = rt.run();
+    rt.telemetry().flush_sinks();
 
     println!("strategy:            {}", report.strategy);
     println!("finished:            {}", report.finished);
@@ -31,7 +43,11 @@ fn main() {
     );
     println!("avg job exec time:   {:.1} s", report.avg_exec_secs);
     println!("avg job idle time:   {:.1} s", report.avg_idle_secs);
-    println!("timeouts/replans:    {}/{}", report.timeouts, report.reschedules());
+    println!(
+        "timeouts/replans:    {}/{}",
+        report.timeouts,
+        report.reschedules()
+    );
 
     println!("\nper-site distribution:");
     for site in &report.sites {
@@ -45,6 +61,17 @@ fn main() {
                 .unwrap_or_else(|| "-".into()),
         );
     }
+
+    let t = &report.telemetry;
+    println!("\ntelemetry ({} distinct metrics):", t.distinct_metrics());
+    println!("  plan cycles:       {}", t.counter("plan.cycles"));
+    println!("  grid submits:      {}", t.counter("grid.submits"));
+    println!("  grid completions:  {}", t.counter("grid.completions"));
+    println!("  WAL appends:       {}", t.counter("wal.appends"));
+    println!(
+        "  trace events:      {} (written to quickstart_trace.jsonl)",
+        t.trace_recorded
+    );
 
     assert!(report.finished, "quickstart should always finish");
 }

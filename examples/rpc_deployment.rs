@@ -72,7 +72,9 @@ fn main() {
         let now = grid.now();
         for n in grid.poll() {
             match n {
-                sphinx::grid::Notification::Wakeup { token: PLANNER_TOKEN } => {
+                sphinx::grid::Notification::Wakeup {
+                    token: PLANNER_TOKEN,
+                } => {
                     // Lend the replica catalog to the server for the call.
                     let rls = std::mem::take(grid.rls_mut());
                     let (plans, rls_back) =

@@ -106,12 +106,12 @@ fn parse_args(args: &[String]) -> Result<RunArgs, String> {
                 }
             }
             "--black-holes" => {
-                out.black_holes = value("--black-holes")?.parse().map_err(|e| format!("{e}"))?
+                out.black_holes = value("--black-holes")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
             }
             "--flaky" => out.flaky = value("--flaky")?.parse().map_err(|e| format!("{e}"))?,
-            "--quota" => {
-                out.quota = Some(value("--quota")?.parse().map_err(|e| format!("{e}"))?)
-            }
+            "--quota" => out.quota = Some(value("--quota")?.parse().map_err(|e| format!("{e}"))?),
             "--timeout" => {
                 out.timeout_mins = value("--timeout")?.parse().map_err(|e| format!("{e}"))?
             }
@@ -203,7 +203,10 @@ fn cmd_compare(args: &RunArgs) -> ExitCode {
     );
     let mut ok = true;
     for strategy in StrategyKind::ALL {
-        let mut a = RunArgs { strategy, ..RunArgs::default() };
+        let mut a = RunArgs {
+            strategy,
+            ..RunArgs::default()
+        };
         a.dags = args.dags;
         a.jobs = args.jobs;
         a.seed = args.seed;

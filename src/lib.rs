@@ -15,6 +15,8 @@
 //! * [`grid`] — the Grid3-style grid substrate: sites, batch queues,
 //!   background load, fault injection.
 //! * [`monitor`] — monitoring service with propagation latency/staleness.
+//! * [`telemetry`] — structured tracing and metrics across the FSA
+//!   pipeline: sim-time-stamped trace events, counters, histograms.
 //! * [`policy`] — virtual organisations, users, resource-usage quotas.
 //! * [`core`] — SPHINX itself: server state machine, planner strategies,
 //!   client and job tracker.
@@ -47,4 +49,5 @@ pub use sphinx_grid as grid;
 pub use sphinx_monitor as monitor;
 pub use sphinx_policy as policy;
 pub use sphinx_sim as sim;
+pub use sphinx_telemetry as telemetry;
 pub use sphinx_workloads as workloads;

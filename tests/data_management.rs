@@ -38,11 +38,7 @@ fn outputs_are_registered_as_replicas() {
     // Every job's output must now have at least one replica.
     for job in &dags[0].jobs {
         let sites = rt.grid_mut().rls_mut().locate(&job.output.file);
-        assert!(
-            !sites.is_empty(),
-            "output {} unregistered",
-            job.output.file
-        );
+        assert!(!sites.is_empty(), "output {} unregistered", job.output.file);
     }
 }
 

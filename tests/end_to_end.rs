@@ -41,8 +41,8 @@ fn reports_are_deterministic_per_seed() {
 fn dag_completion_times_are_internally_consistent() {
     let report = quick().build().run();
     assert_eq!(report.dag_completion_secs.len(), report.dags);
-    let mean = report.dag_completion_secs.iter().sum::<f64>()
-        / report.dag_completion_secs.len() as f64;
+    let mean =
+        report.dag_completion_secs.iter().sum::<f64>() / report.dag_completion_secs.len() as f64;
     assert!((mean - report.avg_dag_completion_secs).abs() < 1e-6);
     // No DAG can finish after the run ends or before a job could run.
     for &secs in &report.dag_completion_secs {

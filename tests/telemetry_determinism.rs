@@ -1,0 +1,126 @@
+//! Deterministic-replay regression suite for the telemetry layer.
+//!
+//! The telemetry hub timestamps everything with the simulation clock and
+//! (by default) never reads the host clock, so two runs of the same
+//! scenario with the same seed must produce a **byte-identical** JSONL
+//! trace and an equal [`TelemetrySnapshot`] — and a different seed must
+//! diverge. This is the regression fence around "no wall-clock reads on
+//! the sim path".
+
+use sphinx::telemetry::TelemetrySnapshot;
+use sphinx::workloads::{FaultPlan, Scenario};
+
+/// One full faulty-grid run: the trace as canonical JSONL plus the
+/// snapshot attached to the run report.
+fn run_once(seed: u64) -> (String, TelemetrySnapshot) {
+    let scenario = Scenario::builder()
+        .seed(seed)
+        .faults(FaultPlan::grid3_typical())
+        .dags(2, 8)
+        .build();
+    let mut rt = scenario.build_runtime();
+    let report = rt.run();
+    assert!(
+        report.finished,
+        "scenario must finish: {}",
+        report.summary()
+    );
+    (rt.telemetry().trace_jsonl(), report.telemetry)
+}
+
+#[test]
+fn same_seed_twice_produces_byte_identical_trace_and_snapshot() {
+    let (trace_a, snap_a) = run_once(7);
+    let (trace_b, snap_b) = run_once(7);
+    assert!(!trace_a.is_empty(), "run must record trace events");
+    assert_eq!(trace_a, trace_b, "same-seed traces must be byte-identical");
+    assert_eq!(snap_a, snap_b, "same-seed snapshots must be equal");
+}
+
+#[test]
+fn different_seed_diverges() {
+    let (trace_a, snap_a) = run_once(7);
+    let (trace_b, snap_b) = run_once(8);
+    assert_ne!(
+        trace_a, trace_b,
+        "different seeds must produce different traces"
+    );
+    assert_ne!(
+        snap_a, snap_b,
+        "different seeds must produce different snapshots"
+    );
+}
+
+#[test]
+fn snapshot_covers_every_pipeline_layer() {
+    let (_, snap) = run_once(7);
+    // ISSUE acceptance: at least 10 distinct metric series spanning FSA
+    // dwell times, plan-cycle latency, reliability flagging, WAL
+    // activity and per-site grid counters.
+    assert!(
+        snap.distinct_metrics() >= 10,
+        "want >= 10 distinct metrics, got {}: {:?} {:?}",
+        snap.distinct_metrics(),
+        snap.counters.keys().collect::<Vec<_>>(),
+        snap.histograms.keys().collect::<Vec<_>>(),
+    );
+    for counter in [
+        "dag.submitted",
+        "dag.finished",
+        "plan.cycles",
+        "plan.jobs_submitted",
+        "wal.appends",
+        "monitor.samples",
+        "grid.submits",
+        "grid.starts",
+        "grid.completions",
+    ] {
+        assert!(
+            snap.counter(counter) > 0,
+            "counter `{counter}` must be live"
+        );
+    }
+    // Black-hole sites in the fault plan must trip the reliability index.
+    assert!(
+        snap.counter("reliability.flagged") > 0,
+        "faulty grid must flag at least one site"
+    );
+    for histogram in [
+        "fsa.dwell_ms.ready",
+        "fsa.dwell_ms.submitted",
+        "fsa.dwell_ms.running",
+        "plan.cycle_gap_ms",
+        "job.completion_ms",
+        "monitor.sample_age_ms",
+    ] {
+        let h = snap
+            .histograms
+            .get(histogram)
+            .unwrap_or_else(|| panic!("histogram `{histogram}` missing"));
+        assert!(
+            h.count > 0,
+            "histogram `{histogram}` must have observations"
+        );
+    }
+    // Per-site tallies: the work went somewhere.
+    assert!(
+        snap.sites.values().any(|t| t.completions > 0),
+        "some site must show completions"
+    );
+}
+
+#[test]
+fn no_wall_clock_metrics_by_default() {
+    let (_, snap) = run_once(7);
+    let wall: Vec<&String> = snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .chain(snap.histograms.keys())
+        .filter(|name| name.starts_with("wall."))
+        .collect();
+    assert!(
+        wall.is_empty(),
+        "wall-clock metrics must be opt-in, found {wall:?}"
+    );
+}
