@@ -1,0 +1,85 @@
+//! Command-line front end: `cargo run -p sphinx-analysis -- check`.
+//!
+//! Exit status 0 means no errors (warnings are printed but tolerated);
+//! 1 means at least one error; 2 means the tool itself could not run.
+
+use sphinx_analysis::{find_workspace_root, has_errors, run_check, Severity};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sphinx-lint check [--update-ratchet]");
+    eprintln!();
+    eprintln!("Runs the workspace static-analysis pass:");
+    eprintln!("  - determinism lints over the sim-facing crates");
+    eprintln!(
+        "    (rules: {})",
+        sphinx_analysis::determinism::ALL_RULES.join(", ")
+    );
+    eprintln!("  - FSA transition-table verification over crates/core");
+    eprintln!("  - panic-path ratchet over crates/core and crates/db");
+    eprintln!();
+    eprintln!("  --update-ratchet   re-record the panic budget at the observed counts");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut update_ratchet = false;
+    let mut command = None;
+    for arg in &args {
+        match arg.as_str() {
+            "check" if command.is_none() => command = Some("check"),
+            "--update-ratchet" => update_ratchet = true,
+            "--help" | "-h" => return usage(),
+            other => {
+                eprintln!("sphinx-lint: unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    if command != Some("check") {
+        return usage();
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sphinx-lint: cannot read current directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = find_workspace_root(&cwd) else {
+        eprintln!("sphinx-lint: no workspace root (Cargo.toml with [workspace]) above {cwd:?}");
+        return ExitCode::from(2);
+    };
+
+    let findings = match run_check(&root, update_ratchet) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("sphinx-lint: analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &findings {
+        println!("{finding}");
+    }
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let warnings = findings.len() - errors;
+    if update_ratchet {
+        println!("sphinx-lint: panic ratchet re-recorded");
+    }
+    if findings.is_empty() {
+        println!("sphinx-lint: clean");
+    } else {
+        println!("sphinx-lint: {errors} error(s), {warnings} warning(s)");
+    }
+    if has_errors(&findings) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

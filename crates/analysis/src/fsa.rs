@@ -1,0 +1,446 @@
+//! FSA transition-table verification.
+//!
+//! The scheduling automaton (§3.2) is declared once, in
+//! `sphinx_core::state`: `can_transition_to` is the legal-edge table and
+//! `is_initial` the legal starting states. This checker closes the loop
+//! between that declaration and the code that moves rows around:
+//!
+//! - Every `advance(JobState::X)` / `advance(DagState::X)` call site must
+//!   carry a `// sphinx-fsa: A|B -> X` annotation naming the source
+//!   states the surrounding code path can be in. Each declared edge is
+//!   checked against the table — an undeclared edge fails the build
+//!   before the `debug_assert!` in `advance` could ever fire.
+//! - Every struct-literal `state: JobState::X` must carry
+//!   `// sphinx-fsa: init X` and `X` must be a legal initial state.
+//! - Raw `.state = …` assignments are forbidden outside the two
+//!   annotated choke points, so the above two forms are exhaustive.
+//!
+//! Because this crate links against `sphinx-core`, the table used here
+//! is *the same function* the runtime asserts — there is no second copy
+//! to drift. The enum declarations themselves are lexed out of
+//! `state.rs` and cross-checked against `VARIANTS`, so adding a variant
+//! without extending the table is also a lint failure.
+
+use crate::lexer::{SourceFile, TokenKind};
+use crate::{Finding, Severity};
+use sphinx_core::state::{DagState, JobState};
+use std::collections::BTreeSet;
+
+/// Rule: `.state = …` outside the choke points.
+pub const RAW_ASSIGNMENT: &str = "fsa-raw-assignment";
+/// Rule: state-assignment site without a `sphinx-fsa:` annotation (or
+/// with one that does not match the code).
+pub const UNANNOTATED: &str = "fsa-unannotated";
+/// Rule: annotation declares an edge the table forbids.
+pub const ILLEGAL_EDGE: &str = "fsa-illegal-edge";
+/// Rule: annotation names a state the enum does not have.
+pub const UNKNOWN_STATE: &str = "fsa-unknown-state";
+/// Rule: fresh row constructed in a non-initial state.
+pub const ILLEGAL_INIT: &str = "fsa-illegal-init";
+/// Rule: the lexed enum declaration disagrees with `VARIANTS`.
+pub const ENUM_DRIFT: &str = "fsa-enum-drift";
+
+/// One automaton: its variant names, legal edges and initial states,
+/// built by exercising the real `sphinx-core` functions over `VARIANTS`.
+pub struct FsaSpec {
+    /// Enum name as it appears in source (`JobState` / `DagState`).
+    pub enum_name: &'static str,
+    /// Variant names in declaration order.
+    pub variants: Vec<String>,
+    /// Legal `(from, to)` edges.
+    pub legal: BTreeSet<(String, String)>,
+    /// Legal initial states.
+    pub initial: BTreeSet<String>,
+}
+
+impl FsaSpec {
+    fn knows(&self, state: &str) -> bool {
+        self.variants.iter().any(|v| v == state)
+    }
+}
+
+/// The job automaton, derived from [`JobState`].
+pub fn job_spec() -> FsaSpec {
+    let name = |s: JobState| format!("{s:?}");
+    FsaSpec {
+        enum_name: "JobState",
+        variants: JobState::VARIANTS.iter().map(|s| name(*s)).collect(),
+        legal: JobState::VARIANTS
+            .iter()
+            .flat_map(|a| JobState::VARIANTS.iter().map(move |b| (*a, *b)))
+            .filter(|(a, b)| a.can_transition_to(*b))
+            .map(|(a, b)| (name(a), name(b)))
+            .collect(),
+        initial: JobState::VARIANTS
+            .iter()
+            .filter(|s| s.is_initial())
+            .map(|s| name(*s))
+            .collect(),
+    }
+}
+
+/// The DAG automaton, derived from [`DagState`].
+pub fn dag_spec() -> FsaSpec {
+    let name = |s: DagState| format!("{s:?}");
+    FsaSpec {
+        enum_name: "DagState",
+        variants: DagState::VARIANTS.iter().map(|s| name(*s)).collect(),
+        legal: DagState::VARIANTS
+            .iter()
+            .flat_map(|a| DagState::VARIANTS.iter().map(move |b| (*a, *b)))
+            .filter(|(a, b)| a.can_transition_to(*b))
+            .map(|(a, b)| (name(a), name(b)))
+            .collect(),
+        initial: DagState::VARIANTS
+            .iter()
+            .filter(|s| s.is_initial())
+            .map(|s| name(*s))
+            .collect(),
+    }
+}
+
+/// Cross-check the lexed `enum` declaration in `state.rs` against the
+/// spec derived from `VARIANTS`, so the two cannot drift apart.
+pub fn verify_enum_decl(file: &SourceFile, spec: &FsaSpec) -> Vec<Finding> {
+    let toks = &file.tokens;
+    let mut declared: Vec<(String, u32)> = Vec::new();
+    let mut decl_line = 0u32;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("enum") || !toks.get(i + 1).is_some_and(|n| n.is_ident(spec.enum_name)) {
+            continue;
+        }
+        decl_line = t.line;
+        // Variants: idents at brace depth 1 that are immediately followed
+        // by `,` or `}` (unit variants only, which is all the FSA uses).
+        let mut j = i + 2;
+        let mut depth = 0usize;
+        while j < toks.len() {
+            if toks[j].is_punct("{") {
+                depth += 1;
+            } else if toks[j].is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1
+                && toks[j].kind == TokenKind::Ident
+                && toks
+                    .get(j + 1)
+                    .is_some_and(|n| n.is_punct(",") || n.is_punct("}"))
+            {
+                declared.push((toks[j].text.clone(), toks[j].line));
+            }
+            j += 1;
+        }
+        break;
+    }
+    let declared_names: Vec<&str> = declared.iter().map(|(n, _)| n.as_str()).collect();
+    let expected: Vec<&str> = spec.variants.iter().map(String::as_str).collect();
+    if declared_names == expected {
+        return Vec::new();
+    }
+    vec![Finding {
+        file: file.path.clone(),
+        line: decl_line,
+        rule: ENUM_DRIFT,
+        severity: Severity::Error,
+        message: format!(
+            "`enum {}` declares {declared_names:?} but `{}::VARIANTS` says {expected:?}; \
+             update VARIANTS and `can_transition_to` together",
+            spec.enum_name, spec.enum_name
+        ),
+    }]
+}
+
+/// A parsed `sphinx-fsa:` annotation body.
+enum Annotation {
+    /// `init <State>`
+    Init(String),
+    /// `A|B -> C`
+    Edges {
+        sources: Vec<String>,
+        target: String,
+    },
+}
+
+fn parse_annotation(body: &str) -> Option<Annotation> {
+    if let Some(state) = body.strip_prefix("init ") {
+        return Some(Annotation::Init(state.trim().to_owned()));
+    }
+    let (lhs, rhs) = body.split_once("->")?;
+    let sources: Vec<String> = lhs.split('|').map(|s| s.trim().to_owned()).collect();
+    if sources.iter().any(String::is_empty) {
+        return None;
+    }
+    Some(Annotation::Edges {
+        sources,
+        target: rhs.trim().to_owned(),
+    })
+}
+
+/// Check every state-assignment site in one file against the specs.
+pub fn check(file: &SourceFile, specs: &[FsaSpec]) -> Vec<Finding> {
+    let allows = file.allows();
+    let mut findings = Vec::new();
+    let toks = &file.tokens;
+
+    let mut emit = |rule: &'static str, line: u32, message: String| {
+        if !allows.get(&line).is_some_and(|set| set.contains(rule)) {
+            findings.push(Finding {
+                file: file.path.clone(),
+                line,
+                rule,
+                severity: Severity::Error,
+                message,
+            });
+        }
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        // Raw assignment: `.state = …`.
+        if t.is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_ident("state"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("="))
+        {
+            let line = toks[i + 1].line;
+            emit(
+                RAW_ASSIGNMENT,
+                line,
+                "raw `.state = …` assignment bypasses the `advance()` choke point".to_owned(),
+            );
+        }
+
+        // Advance call: `advance ( <Enum> :: <Variant>`.
+        if t.is_ident("advance")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct("::"))
+        {
+            let Some(spec) = specs
+                .iter()
+                .find(|s| toks.get(i + 2).is_some_and(|n| n.is_ident(s.enum_name)))
+            else {
+                continue;
+            };
+            let Some(variant) = toks.get(i + 4).map(|n| n.text.clone()) else {
+                continue;
+            };
+            check_advance_site(file, spec, &variant, t.line, &mut emit);
+        }
+
+        // Struct-literal init: `state : <Enum> :: <Variant>`.
+        if t.is_ident("state")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(":"))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct("::"))
+        {
+            let Some(spec) = specs
+                .iter()
+                .find(|s| toks.get(i + 2).is_some_and(|n| n.is_ident(s.enum_name)))
+            else {
+                continue;
+            };
+            let Some(variant) = toks.get(i + 4).map(|n| n.text.clone()) else {
+                continue;
+            };
+            check_init_site(file, spec, &variant, t.line, &mut emit);
+        }
+    }
+    findings
+}
+
+fn check_advance_site(
+    file: &SourceFile,
+    spec: &FsaSpec,
+    variant: &str,
+    line: u32,
+    emit: &mut impl FnMut(&'static str, u32, String),
+) {
+    if !spec.knows(variant) {
+        emit(
+            UNKNOWN_STATE,
+            line,
+            format!("`{}::{variant}` is not a declared variant", spec.enum_name),
+        );
+        return;
+    }
+    let Some(directive) = file.fsa_annotation(line) else {
+        emit(
+            UNANNOTATED,
+            line,
+            format!(
+                "`advance({}::{variant})` needs a `// sphinx-fsa: <Src>|… -> {variant}` annotation",
+                spec.enum_name
+            ),
+        );
+        return;
+    };
+    let Some(Annotation::Edges { sources, target }) = parse_annotation(&directive.body) else {
+        emit(
+            UNANNOTATED,
+            line,
+            format!(
+                "malformed sphinx-fsa annotation `{}` (want `Src|… -> Target`)",
+                directive.body
+            ),
+        );
+        return;
+    };
+    if target != variant {
+        emit(
+            UNANNOTATED,
+            line,
+            format!("annotation targets `{target}` but the code advances to `{variant}`"),
+        );
+        return;
+    }
+    for src in &sources {
+        if !spec.knows(src) {
+            emit(
+                UNKNOWN_STATE,
+                line,
+                format!("`{}::{src}` is not a declared variant", spec.enum_name),
+            );
+        } else if !spec.legal.contains(&(src.clone(), variant.to_owned())) {
+            emit(
+                ILLEGAL_EDGE,
+                line,
+                format!(
+                    "`{src} -> {variant}` is not in `{}::can_transition_to`",
+                    spec.enum_name
+                ),
+            );
+        }
+    }
+}
+
+fn check_init_site(
+    file: &SourceFile,
+    spec: &FsaSpec,
+    variant: &str,
+    line: u32,
+    emit: &mut impl FnMut(&'static str, u32, String),
+) {
+    if !spec.knows(variant) {
+        emit(
+            UNKNOWN_STATE,
+            line,
+            format!("`{}::{variant}` is not a declared variant", spec.enum_name),
+        );
+        return;
+    }
+    let annotated = file
+        .fsa_annotation(line)
+        .and_then(|d| parse_annotation(&d.body));
+    match annotated {
+        Some(Annotation::Init(state)) if state == variant => {
+            if !spec.initial.contains(variant) {
+                emit(
+                    ILLEGAL_INIT,
+                    line,
+                    format!(
+                        "`{}::{variant}` is not a legal initial state (per `is_initial`)",
+                        spec.enum_name
+                    ),
+                );
+            }
+        }
+        Some(Annotation::Init(state)) => emit(
+            UNANNOTATED,
+            line,
+            format!("annotation says `init {state}` but the code initialises to `{variant}`"),
+        ),
+        _ => emit(
+            UNANNOTATED,
+            line,
+            format!(
+                "`state: {}::{variant}` needs a `// sphinx-fsa: init {variant}` annotation",
+                spec.enum_name
+            ),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> SourceFile {
+        SourceFile::lex("mem.rs", src)
+    }
+
+    fn specs() -> Vec<FsaSpec> {
+        vec![job_spec(), dag_spec()]
+    }
+
+    #[test]
+    fn specs_reflect_the_core_tables() {
+        let job = job_spec();
+        assert!(job.legal.contains(&("Ready".into(), "Submitted".into())));
+        assert!(!job.legal.contains(&("Finished".into(), "Running".into())));
+        assert_eq!(job.initial.len(), 1);
+        assert!(job.initial.contains("Unready"));
+        let dag = dag_spec();
+        assert!(dag.legal.contains(&("Received".into(), "Running".into())));
+        assert!(!dag.legal.contains(&("Finished".into(), "Received".into())));
+    }
+
+    #[test]
+    fn annotated_legal_advance_passes() {
+        let src = "// sphinx-fsa: Ready -> Submitted\nrow.advance(JobState::Submitted);\n";
+        assert!(check(&lex(src), &specs()).is_empty());
+    }
+
+    #[test]
+    fn undeclared_edge_is_rejected() {
+        let src = "// sphinx-fsa: Finished -> Running\nrow.advance(JobState::Running);\n";
+        let findings = check(&lex(src), &specs());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, ILLEGAL_EDGE);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn missing_annotation_is_rejected() {
+        let findings = check(&lex("row.advance(JobState::Finished);\n"), &specs());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, UNANNOTATED);
+    }
+
+    #[test]
+    fn raw_assignment_is_rejected() {
+        let findings = check(&lex("row.state = JobState::Running;\n"), &specs());
+        assert!(findings.iter().any(|f| f.rule == RAW_ASSIGNMENT));
+    }
+
+    #[test]
+    fn unknown_state_in_annotation_is_rejected() {
+        let src = "// sphinx-fsa: Zombie -> Submitted\nrow.advance(JobState::Submitted);\n";
+        let findings = check(&lex(src), &specs());
+        assert_eq!(findings[0].rule, UNKNOWN_STATE);
+    }
+
+    #[test]
+    fn init_must_be_initial_state() {
+        let bad = "JobRow { state: JobState::Running, // sphinx-fsa: init Running\n }\n";
+        let findings = check(&lex(bad), &specs());
+        assert_eq!(findings[0].rule, ILLEGAL_INIT);
+        let good = "JobRow { state: JobState::Unready, // sphinx-fsa: init Unready\n }\n";
+        assert!(check(&lex(good), &specs()).is_empty());
+    }
+
+    #[test]
+    fn enum_decl_drift_is_detected() {
+        let truncated = "pub enum DagState { Received, Running }\n";
+        let findings = verify_enum_decl(&lex(truncated), &dag_spec());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, ENUM_DRIFT);
+        let faithful = "pub enum DagState { Received, Running, Finished }\n";
+        assert!(verify_enum_decl(&lex(faithful), &dag_spec()).is_empty());
+    }
+
+    #[test]
+    fn field_declarations_are_not_init_sites() {
+        // `pub state: JobState,` (no `::Variant`) must not be flagged.
+        let src = "pub struct JobRow { pub state: JobState, pub attempts: u32 }\n";
+        assert!(check(&lex(src), &specs()).is_empty());
+    }
+}

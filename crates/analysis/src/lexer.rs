@@ -1,0 +1,476 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The build environment is offline, so we cannot lean on `syn`. The
+//! analyzers only need a faithful *token* view of each source file:
+//! identifiers and punctuation with line numbers, with comments, string
+//! literals, char literals and lifetimes correctly skipped so that a
+//! `HashMap` inside a doc comment or a `"panic!"` inside a string never
+//! trips a rule. Two comment forms are load-bearing and are captured
+//! instead of discarded:
+//!
+//! - `// sphinx-lint: allow(<rule>, ...)` — suppresses findings of the
+//!   named rules on the comment's line and the line below it.
+//! - `// sphinx-fsa: <annotation>` — declares the intent of a state
+//!   assignment site for the FSA checker (see [`crate::fsa`]).
+//!
+//! Code under `#[cfg(test)] mod ... { ... }` is stripped from the token
+//! stream: tests may use wall clocks, unwraps and raw state pokes freely.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a token is, at lint granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Operator / delimiter. Multi-char operators (`::`, `->`, `==`, …)
+    /// are a single token so patterns like `state =` cannot be confused
+    /// with `state ==`.
+    Punct,
+    /// Numeric literal. (String and char literals are skipped entirely.)
+    Number,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Which directive family a captured comment belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// `// sphinx-lint: ...`
+    Lint,
+    /// `// sphinx-fsa: ...`
+    Fsa,
+}
+
+/// A captured `sphinx-lint:` / `sphinx-fsa:` comment.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    pub kind: DirectiveKind,
+    /// Everything after the `sphinx-…:` marker, trimmed.
+    pub body: String,
+    pub line: u32,
+}
+
+/// A lexed source file: test modules stripped, directives captured.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, for reporting.
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub directives: Vec<Directive>,
+}
+
+impl SourceFile {
+    /// Lex `src`, strip `#[cfg(test)] mod` bodies, capture directives.
+    pub fn lex(path: &str, src: &str) -> SourceFile {
+        let (tokens, directives) = tokenize(src);
+        SourceFile {
+            path: path.to_owned(),
+            tokens: strip_test_modules(tokens),
+            directives,
+        }
+    }
+
+    /// Rules suppressed per line: an `allow(rule)` covers the comment's
+    /// own line (trailing form) and the next line (standalone form).
+    pub fn allows(&self) -> BTreeMap<u32, BTreeSet<&str>> {
+        let mut map: BTreeMap<u32, BTreeSet<&str>> = BTreeMap::new();
+        for d in &self.directives {
+            if d.kind != DirectiveKind::Lint {
+                continue;
+            }
+            let Some(rules) = d
+                .body
+                .strip_prefix("allow(")
+                .and_then(|r| r.strip_suffix(')'))
+            else {
+                continue;
+            };
+            for rule in rules.split(',').map(str::trim).filter(|r| !r.is_empty()) {
+                map.entry(d.line).or_default().insert(rule);
+                map.entry(d.line + 1).or_default().insert(rule);
+            }
+        }
+        map
+    }
+
+    /// The `sphinx-fsa:` annotation attached to `line`, if any: same line
+    /// (trailing comment) or the line above (standalone comment).
+    pub fn fsa_annotation(&self, line: u32) -> Option<&Directive> {
+        self.directives
+            .iter()
+            .filter(|d| d.kind == DirectiveKind::Fsa)
+            .find(|d| d.line == line || d.line + 1 == line)
+    }
+}
+
+/// Multi-char operators, longest first so greedy matching is correct.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "..", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+fn tokenize(src: &str) -> (Vec<Token>, Vec<Directive>) {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut directives = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                capture_directive(text, line, &mut directives);
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = skip_string(bytes, i + 1, &mut line),
+            'r' | 'b' if is_raw_string_start(bytes, i) => i = skip_raw_string(bytes, i, &mut line),
+            'b' if bytes.get(i + 1) == Some(&b'"') => i = skip_string(bytes, i + 2, &mut line),
+            'b' if bytes.get(i + 1) == Some(&b'\'') => i = skip_char(bytes, i + 2, &mut line),
+            '\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`, `'\n'`).
+                let mut j = i + 1;
+                while j < bytes.len() && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                if j > i + 1 && bytes.get(j) != Some(&b'\'') {
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: src[i..j].to_owned(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    i = skip_char(bytes, i + 1, &mut line);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..i].to_owned(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.')
+                {
+                    // `1..2` range: stop before `..`.
+                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: src[start..i].to_owned(),
+                    line,
+                });
+            }
+            _ => {
+                let rest = &src[i..];
+                let op = MULTI_PUNCT.iter().find(|op| rest.starts_with(**op));
+                let text = op.map_or_else(|| c.to_string(), |op| (*op).to_owned());
+                i += text.len();
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text,
+                    line,
+                });
+            }
+        }
+    }
+    (tokens, directives)
+}
+
+fn capture_directive(comment: &str, line: u32, out: &mut Vec<Directive>) {
+    let trimmed = comment.trim_start_matches(['/', '!']).trim();
+    for (marker, kind) in [
+        ("sphinx-lint:", DirectiveKind::Lint),
+        ("sphinx-fsa:", DirectiveKind::Fsa),
+    ] {
+        if let Some(body) = trimmed.strip_prefix(marker) {
+            out.push(Directive {
+                kind,
+                body: body.trim().to_owned(),
+                line,
+            });
+        }
+    }
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // r"..."  r#"..."#  br"..."  br#"..."#
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+fn skip_raw_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // 'r'
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_char(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Drop every token inside a `#[cfg(test)] mod name { ... }` block.
+fn strip_test_modules(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(&tokens, i) {
+            // Skip the attribute itself, plus any further attributes,
+            // then — if a `mod` follows — its whole brace-balanced body.
+            let mut j = i + 7; // past `# [ cfg ( test ) ]`
+            while tokens.get(j).is_some_and(|t| t.is_punct("#")) {
+                j = skip_attr(&tokens, j);
+            }
+            if tokens.get(j).is_some_and(|t| t.is_ident("mod")) {
+                // `mod name {` … matching `}`
+                while j < tokens.len() && !tokens[j].is_punct("{") {
+                    j += 1;
+                }
+                let mut depth = 0usize;
+                while j < tokens.len() {
+                    if tokens[j].is_punct("{") {
+                        depth += 1;
+                    } else if tokens[j].is_punct("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+            // `#[cfg(test)]` on a non-mod item: drop just the attribute so
+            // the item itself is still visible (it is test-only code, but
+            // single items are rare and the guard keeps the lexer simple).
+            i = j;
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct("#"))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))
+        && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+        && tokens.get(i + 3).is_some_and(|t| t.is_punct("("))
+        && tokens.get(i + 4).is_some_and(|t| t.is_ident("test"))
+        && tokens.get(i + 5).is_some_and(|t| t.is_punct(")"))
+        && tokens.get(i + 6).is_some_and(|t| t.is_punct("]"))
+}
+
+/// Skip one `#[...]` attribute (bracket-balanced), returning the index
+/// just past its closing `]`.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    debug_assert!(tokens[i].is_punct("#"));
+    let mut j = i + 1;
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        if tokens[j].is_punct("[") {
+            depth += 1;
+        } else if tokens[j].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_strings_and_lifetimes_are_skipped() {
+        let src = r##"
+// HashMap in a line comment
+/* HashMap in /* a nested */ block comment */
+fn f<'a>(s: &'a str) -> char {
+    let _x = "HashMap in a string";
+    let _y = r#"HashMap in a raw "string""#;
+    'h'
+}
+"##;
+        let f = SourceFile::lex("t.rs", src);
+        assert!(!f.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert!(f.tokens.iter().any(|t| t.kind == TokenKind::Lifetime));
+        assert!(f.tokens.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn multi_char_punct_is_one_token() {
+        let f = SourceFile::lex("t.rs", "a == b; c = d; e -> f; g::h");
+        let puncts: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", ";", "=", ";", "->", ";", "::"]);
+    }
+
+    #[test]
+    fn line_numbers_track_all_literal_forms() {
+        let src = "fn a() {}\nlet s = \"x\ny\";\nfn b() {}\n";
+        let f = SourceFile::lex("t.rs", src);
+        let b = f.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn test_modules_are_stripped() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn fake() { let m = HashMap::new(); }\n}\nfn after() {}\n";
+        let f = SourceFile::lex("t.rs", src);
+        assert!(!f.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("real")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn directives_are_captured_with_lines() {
+        let src = "// sphinx-lint: allow(wall-clock)\nlet t = now();\nx(); // sphinx-fsa: Ready -> Submitted\n";
+        let f = SourceFile::lex("t.rs", src);
+        assert_eq!(f.directives.len(), 2);
+        assert_eq!(f.directives[0].kind, DirectiveKind::Lint);
+        assert_eq!(f.directives[0].line, 1);
+        assert_eq!(f.directives[1].kind, DirectiveKind::Fsa);
+        assert_eq!(f.directives[1].body, "Ready -> Submitted");
+        assert_eq!(f.directives[1].line, 3);
+        let allows = f.allows();
+        assert!(allows[&1].contains("wall-clock"));
+        assert!(allows[&2].contains("wall-clock"));
+    }
+}

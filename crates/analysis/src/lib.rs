@@ -1,0 +1,202 @@
+//! `sphinx-analysis`: the workspace's own static-analysis pass.
+//!
+//! Three analyzers run over the sim-facing crates, built on a
+//! hand-rolled lexer ([`lexer`]) because the build environment has no
+//! crates.io access for `syn`:
+//!
+//! 1. [`determinism`] — forbids wall clocks, hash-order iteration,
+//!    unseeded randomness and ambient filesystem/env reads in crates
+//!    that must produce replayable runs.
+//! 2. [`fsa`] — verifies every state-assignment site in `sphinx-core`
+//!    against the declared FSA transition table (§3.2), which lives in
+//!    `sphinx_core::state::can_transition_to` and is linked in directly.
+//! 3. [`panics`] — counts panic-capable constructs in `crates/core` and
+//!    `crates/db` against a committed ratchet that may only go down.
+//!
+//! Run it as `cargo run -p sphinx-analysis -- check` (CI does).
+
+pub mod determinism;
+pub mod fsa;
+pub mod lexer;
+pub mod panics;
+
+use lexer::SourceFile;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// How bad a finding is: errors fail the build, warnings are advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+/// One analyzer finding, reported as `path:line: [rule] message`.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line; 0 when the finding is about a whole file.
+    pub line: u32,
+    /// Stable rule id, e.g. `wall-clock` or `fsa-illegal-edge`.
+    pub rule: &'static str,
+    pub severity: Severity,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        if self.line == 0 {
+            write!(f, "{}: {tag}[{}] {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: {tag}[{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// Crates that must stay deterministic: the whole simulation pipeline,
+/// from the clock to the WAL.
+pub const SIM_CRATES: &[&str] = &[
+    "core",
+    "grid",
+    "sim",
+    "dag",
+    "policy",
+    "monitor",
+    "db",
+    "data",
+    "telemetry",
+    "workloads",
+];
+
+/// The bench harness measures real elapsed time on purpose, so it only
+/// gets the wall-clock rule (each read must carry an explicit allow).
+pub const WALL_CLOCK_ONLY_CRATES: &[&str] = &["bench"];
+
+/// Crates under the panic-path ratchet (the server and its durability
+/// layer — the two places a panic loses scheduling state).
+pub const PANIC_CRATES: &[&str] = &["crates/core", "crates/db"];
+
+/// Where the panic budget lives, relative to the workspace root.
+pub const RATCHET_PATH: &str = "crates/analysis/panic-ratchet.txt";
+
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(content) = fs::read_to_string(&manifest) {
+            if content.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted (deterministic)
+/// order.
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&d)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn lex_crate(root: &Path, crate_dir: &str) -> io::Result<Vec<SourceFile>> {
+    let src_dir = root.join(crate_dir).join("src");
+    let mut out = Vec::new();
+    for path in rust_files(&src_dir)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = fs::read_to_string(&path)?;
+        out.push(SourceFile::lex(&rel, &content));
+    }
+    Ok(out)
+}
+
+/// Run the full analysis pass over the workspace at `root`.
+///
+/// With `update_ratchet`, the panic baseline is rewritten to the
+/// observed counts instead of being enforced.
+pub fn run_check(root: &Path, update_ratchet: bool) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+
+    // 1. Determinism lints.
+    for crate_name in SIM_CRATES {
+        for file in lex_crate(root, &format!("crates/{crate_name}"))? {
+            findings.extend(determinism::check(&file));
+        }
+    }
+    for crate_name in WALL_CLOCK_ONLY_CRATES {
+        for file in lex_crate(root, &format!("crates/{crate_name}"))? {
+            findings.extend(determinism::scan(&file, &[determinism::WALL_CLOCK]));
+        }
+    }
+
+    // 2. FSA transition-table verification over the core crate.
+    let specs = [fsa::job_spec(), fsa::dag_spec()];
+    for file in lex_crate(root, "crates/core")? {
+        if file.path.ends_with("state.rs") {
+            for spec in &specs {
+                findings.extend(fsa::verify_enum_decl(&file, spec));
+            }
+        }
+        findings.extend(fsa::check(&file, &specs));
+    }
+
+    // 3. Panic-path ratchet.
+    let mut audited = Vec::new();
+    for crate_dir in PANIC_CRATES {
+        for file in lex_crate(root, crate_dir)? {
+            audited.push(((*crate_dir).to_owned(), file));
+        }
+    }
+    let observed = panics::totals(&audited);
+    let ratchet_file = root.join(RATCHET_PATH);
+    if update_ratchet {
+        fs::write(&ratchet_file, panics::render_ratchet(&observed))?;
+    } else {
+        let baseline = fs::read_to_string(&ratchet_file)
+            .map(|c| panics::parse_ratchet(&c))
+            .unwrap_or_default();
+        findings.extend(panics::check(&observed, &baseline, RATCHET_PATH));
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// True when any finding should fail the build.
+pub fn has_errors(findings: &[Finding]) -> bool {
+    findings.iter().any(|f| f.severity == Severity::Error)
+}

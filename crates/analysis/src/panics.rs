@@ -1,0 +1,186 @@
+//! Panic-path audit with a one-way ratchet.
+//!
+//! A SPHINX server that panics mid-transaction is exactly the crash the
+//! WAL exists to survive — but a panic in the scheduling path is still
+//! an availability hole, and the paper's fault-tolerance claims (§4)
+//! assume the server process stays up through bad reports. This pass
+//! counts the panic-capable constructs (`unwrap`, `expect`, `panic!`,
+//! `unreachable!`, `todo!`, `unimplemented!`, and `[...]` indexing) in
+//! non-test code of the audited crates and compares the totals to a
+//! committed baseline. The count may only go down: raising it fails the
+//! build, lowering it produces a reminder to re-record the baseline with
+//! `sphinx-lint check --update-ratchet`.
+
+use crate::lexer::{SourceFile, TokenKind};
+use crate::{Finding, Severity};
+use std::collections::BTreeMap;
+
+/// Rule id for budget violations.
+pub const RATCHET: &str = "panic-ratchet";
+
+/// Count panic-capable constructs in one file's non-test tokens.
+pub fn count_file(file: &SourceFile) -> u64 {
+    let toks = &file.tokens;
+    let mut count = 0u64;
+    for (i, t) in toks.iter().enumerate() {
+        let next_is = |s: &str| toks.get(i + 1).is_some_and(|n| n.is_punct(s));
+        match t.kind {
+            TokenKind::Ident => match t.text.as_str() {
+                "unwrap" | "expect" if next_is("(") => count += 1,
+                "panic" | "unreachable" | "todo" | "unimplemented" if next_is("!") => count += 1,
+                _ => {}
+            },
+            // Indexing: `[` right after a value (identifier, call or
+            // index result). `#[attr]`, `vec![…]`, array types/literals
+            // follow `#`, `!`, `:`, `=`, `&`, `(`… and are not counted.
+            TokenKind::Punct
+                if t.text == "["
+                    && i > 0
+                    && (toks[i - 1].kind == TokenKind::Ident
+                        || toks[i - 1].is_punct(")")
+                        || toks[i - 1].is_punct("]")) =>
+            {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+/// Aggregate counts per audited crate (`name -> total`).
+pub fn totals(files: &[(String, SourceFile)]) -> BTreeMap<String, u64> {
+    let mut map = BTreeMap::new();
+    for (crate_name, file) in files {
+        *map.entry(crate_name.clone()).or_insert(0) += count_file(file);
+    }
+    map
+}
+
+/// Parse a ratchet file: one `crates/<name> <count>` pair per line,
+/// `#`-comments and blank lines ignored.
+pub fn parse_ratchet(content: &str) -> BTreeMap<String, u64> {
+    content
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (name, count) = l.rsplit_once(' ')?;
+            Some((name.trim().to_owned(), count.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+/// Render the ratchet file for `--update-ratchet`.
+pub fn render_ratchet(totals: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from(
+        "# Panic-path budget, enforced by `sphinx-lint check`.\n\
+         # Counts of unwrap/expect/panic!/unreachable!/todo!/unimplemented!/indexing\n\
+         # in non-test code. The count may only go DOWN; after burning some down,\n\
+         # re-record with `cargo run -p sphinx-analysis -- check --update-ratchet`.\n",
+    );
+    for (name, count) in totals {
+        out.push_str(&format!("{name} {count}\n"));
+    }
+    out
+}
+
+/// Compare observed totals to the committed baseline.
+pub fn check(
+    observed: &BTreeMap<String, u64>,
+    baseline: &BTreeMap<String, u64>,
+    ratchet_path: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (name, &count) in observed {
+        match baseline.get(name) {
+            None => findings.push(Finding {
+                file: ratchet_path.to_owned(),
+                line: 0,
+                rule: RATCHET,
+                severity: Severity::Error,
+                message: format!(
+                    "no panic budget recorded for `{name}` (found {count}); \
+                     run `sphinx-lint check --update-ratchet`"
+                ),
+            }),
+            Some(&budget) if count > budget => findings.push(Finding {
+                file: ratchet_path.to_owned(),
+                line: 0,
+                rule: RATCHET,
+                severity: Severity::Error,
+                message: format!(
+                    "`{name}` has {count} panic-capable sites, budget is {budget}; \
+                     convert the new ones to typed `Result`s instead"
+                ),
+            }),
+            Some(&budget) if count < budget => findings.push(Finding {
+                file: ratchet_path.to_owned(),
+                line: 0,
+                rule: RATCHET,
+                severity: Severity::Warning,
+                message: format!(
+                    "`{name}` is below budget ({count} < {budget}); \
+                     lock in the progress with `sphinx-lint check --update-ratchet`"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(src: &str) -> u64 {
+        count_file(&SourceFile::lex("mem.rs", src))
+    }
+
+    #[test]
+    fn counts_each_construct() {
+        assert_eq!(count("x.unwrap()"), 1);
+        assert_eq!(count("x.expect(\"reason\")"), 1);
+        assert_eq!(count("panic!(\"boom\")"), 1);
+        assert_eq!(count("unreachable!()"), 1);
+        assert_eq!(count("todo!()"), 1);
+        assert_eq!(count("let y = xs[0];"), 1);
+        assert_eq!(count("f()[1]"), 1);
+        assert_eq!(count("m[k][j]"), 2);
+    }
+
+    #[test]
+    fn non_panicking_brackets_are_not_counted() {
+        assert_eq!(count("#[derive(Debug)]\nstruct S;"), 0);
+        assert_eq!(count("let v = vec![1, 2];"), 0);
+        assert_eq!(count("let a: [u8; 4] = [0; 4];"), 0);
+        assert_eq!(count("fn f(xs: &[u32]) {}"), 0);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\n";
+        assert_eq!(count(src), 0);
+    }
+
+    #[test]
+    fn ratchet_round_trips_and_enforces() {
+        let mut observed = BTreeMap::new();
+        observed.insert("crates/core".to_owned(), 10u64);
+        let rendered = render_ratchet(&observed);
+        let baseline = parse_ratchet(&rendered);
+        assert_eq!(baseline, observed);
+        assert!(check(&observed, &baseline, "r.txt").is_empty());
+
+        observed.insert("crates/core".to_owned(), 11);
+        let up = check(&observed, &baseline, "r.txt");
+        assert_eq!(up.len(), 1);
+        assert_eq!(up[0].severity, Severity::Error);
+
+        observed.insert("crates/core".to_owned(), 9);
+        let down = check(&observed, &baseline, "r.txt");
+        assert_eq!(down.len(), 1);
+        assert_eq!(down[0].severity, Severity::Warning);
+    }
+}

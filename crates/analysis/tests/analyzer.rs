@@ -1,0 +1,120 @@
+//! Fixture-driven self-tests for the analyzers, plus the workspace
+//! self-check: the real repo must come out clean.
+//!
+//! The fixtures live in `tests/fixtures/` (not compiled by cargo; they
+//! exist only to be lexed) and each one encodes the exact rule ids and
+//! line numbers it must produce.
+
+use sphinx_analysis::lexer::SourceFile;
+use sphinx_analysis::{determinism, fsa, has_errors, panics, run_check, Finding};
+use std::path::Path;
+
+fn fixture(name: &str) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).unwrap();
+    SourceFile::lex(name, &src)
+}
+
+/// (rule, line) pairs, sorted, for compact assertions.
+fn tags(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+    let mut t: Vec<(&'static str, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    t.sort();
+    t
+}
+
+#[test]
+fn clean_fixture_passes_every_analyzer() {
+    let f = fixture("clean.rs");
+    assert!(determinism::check(&f).is_empty());
+    assert!(fsa::check(&f, &[fsa::job_spec(), fsa::dag_spec()]).is_empty());
+    assert_eq!(panics::count_file(&f), 0);
+}
+
+#[test]
+fn wall_clock_fixture_flags_only_the_unallowed_read() {
+    let findings = determinism::check(&fixture("wall_clock.rs"));
+    assert_eq!(tags(&findings), vec![(determinism::WALL_CLOCK, 4)]);
+}
+
+#[test]
+fn map_iter_fixture_flags_import_and_signature() {
+    let findings = determinism::check(&fixture("map_iter.rs"));
+    assert_eq!(
+        tags(&findings),
+        vec![(determinism::MAP_ITER, 3), (determinism::MAP_ITER, 5)]
+    );
+}
+
+#[test]
+fn unseeded_rng_fixture_flags_thread_rng() {
+    let findings = determinism::check(&fixture("unseeded_rng.rs"));
+    assert_eq!(tags(&findings), vec![(determinism::UNSEEDED_RNG, 4)]);
+}
+
+#[test]
+fn fs_read_fixture_flags_open_read_and_shorthand() {
+    let findings = determinism::check(&fixture("fs_read.rs"));
+    assert_eq!(
+        tags(&findings),
+        vec![
+            (determinism::FS_READ, 8),
+            (determinism::FS_READ, 8),
+            (determinism::FS_READ, 13)
+        ]
+    );
+}
+
+#[test]
+fn env_read_fixture_flags_var() {
+    let findings = determinism::check(&fixture("env_read.rs"));
+    assert_eq!(tags(&findings), vec![(determinism::ENV_READ, 4)]);
+}
+
+#[test]
+fn fsa_rejects_the_undeclared_finished_to_running_edge() {
+    let specs = [fsa::job_spec(), fsa::dag_spec()];
+    let findings = fsa::check(&fixture("fsa_illegal_edge.rs"), &specs);
+    assert_eq!(tags(&findings), vec![(fsa::ILLEGAL_EDGE, 6)]);
+    assert!(findings[0].message.contains("Finished -> Running"));
+}
+
+#[test]
+fn fsa_rejects_unannotated_and_raw_sites() {
+    let specs = [fsa::job_spec(), fsa::dag_spec()];
+    let findings = fsa::check(&fixture("fsa_unannotated.rs"), &specs);
+    assert_eq!(
+        tags(&findings),
+        vec![
+            (fsa::RAW_ASSIGNMENT, 9),
+            (fsa::UNANNOTATED, 5),
+            (fsa::UNANNOTATED, 14)
+        ]
+    );
+}
+
+#[test]
+fn panic_heavy_fixture_counts_non_test_sites() {
+    assert_eq!(panics::count_file(&fixture("panic_heavy.rs")), 7);
+}
+
+#[test]
+fn workspace_self_check_is_clean() {
+    // The analysis crate sits at <root>/crates/analysis.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    let findings = run_check(&root, false).unwrap();
+    assert!(
+        !has_errors(&findings),
+        "workspace must pass its own lint:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,22 @@
+//! Fixture: deterministic, annotation-free code that every analyzer
+//! must pass without findings.
+
+use std::collections::BTreeMap;
+
+pub fn schedule(now: u64, jobs: &BTreeMap<u32, u64>) -> Option<u64> {
+    // HashMap in a comment is fine, as is "Instant::now()" in a string.
+    let _label = "Instant::now()";
+    jobs.values().map(|cost| now + cost).min()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may do anything: the lexer strips this module.
+    #[test]
+    fn t() {
+        let m = std::collections::HashMap::<u32, u32>::new();
+        assert!(m.is_empty());
+        let t = std::time::Instant::now();
+        let _ = t.elapsed();
+    }
+}

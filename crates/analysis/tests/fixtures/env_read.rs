@@ -1,0 +1,8 @@
+//! Fixture: environment-variable read.
+
+pub fn seed() -> u64 {
+    std::env::var("SPHINX_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}

@@ -1,0 +1,14 @@
+//! Fixture: ambient filesystem reads.
+
+use std::fs::File;
+use std::io::Read;
+
+pub fn load(path: &str) -> std::io::Result<String> {
+    let mut content = String::new();
+    File::open(path)?.read_to_string(&mut content)?;
+    Ok(content)
+}
+
+pub fn load_short(path: &str) -> std::io::Result<String> {
+    std::fs::read_to_string(path)
+}

@@ -1,0 +1,7 @@
+//! Fixture: a state-assignment site whose annotation declares an edge
+//! the transition table forbids — nothing leaves `Finished`.
+
+pub fn resurrect(row: &mut JobRow) {
+    // sphinx-fsa: Finished -> Running
+    row.advance(JobState::Running);
+}

@@ -1,0 +1,16 @@
+//! Fixture: state-assignment sites missing their `sphinx-fsa:`
+//! annotations, plus a raw assignment that bypasses the choke point.
+
+pub fn advance_without_annotation(row: &mut JobRow) {
+    row.advance(JobState::Finished);
+}
+
+pub fn raw_poke(row: &mut JobRow) {
+    row.state = JobState::Running;
+}
+
+pub fn init_without_annotation() -> DagRow {
+    DagRow {
+        state: DagState::Received,
+    }
+}

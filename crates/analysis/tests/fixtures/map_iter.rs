@@ -1,0 +1,7 @@
+//! Fixture: hash-order iteration hazard.
+
+use std::collections::HashMap;
+
+pub fn total(m: &HashMap<u32, u64>) -> u64 {
+    m.values().sum()
+}

@@ -1,0 +1,27 @@
+//! Fixture: panic-capable constructs for the audit counter.
+//! Non-test sites: 2 unwraps + 1 expect + 1 panic! + 1 unreachable! +
+//! 2 indexing = 7.
+
+pub fn risky(xs: &[u32], flag: bool) -> u32 {
+    let first = xs.first().unwrap();
+    let last = xs.last().unwrap();
+    let mid = xs.get(1).expect("at least two");
+    if *first > 100 {
+        panic!("out of range");
+    }
+    match flag {
+        true => first + xs[0],
+        false if *last > 0 => mid + xs[1],
+        false => unreachable!("guarded above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        super::risky(&[1, 2], true);
+        let v: Vec<u32> = vec![];
+        v.first().unwrap();
+    }
+}

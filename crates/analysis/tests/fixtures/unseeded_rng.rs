@@ -1,0 +1,6 @@
+//! Fixture: unseeded randomness.
+
+pub fn roll() -> u32 {
+    let mut rng = thread_rng();
+    rng.next_u32()
+}

@@ -1,0 +1,11 @@
+//! Fixture: wall-clock reads, one forbidden and one allowed.
+
+pub fn timing() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn sanctioned() -> u128 {
+    let t0 = std::time::Instant::now(); // sphinx-lint: allow(wall-clock)
+    t0.elapsed().as_nanos()
+}

@@ -89,7 +89,7 @@ fn bench_plan_cycle(c: &mut Criterion) {
                     for f in dag.external_inputs() {
                         rls.register(f, SiteId(0));
                     }
-                    server.submit_dag(&dag, UserId(1), SimTime::ZERO);
+                    server.submit_dag(&dag, UserId(1), SimTime::ZERO).unwrap();
                     (server, rls)
                 },
                 |(mut server, mut rls)| {

@@ -99,7 +99,7 @@ fn emit(opts: &Options, id: &str, title: &str, rows: &[Aggregate]) {
 
 fn main() {
     let opts = parse_args();
-    let t0 = std::time::Instant::now();
+    let t0 = std::time::Instant::now(); // sphinx-lint: allow(wall-clock)
     for id in opts.ids.clone() {
         match id.as_str() {
             "fig2" => {

@@ -1,0 +1,83 @@
+//! Typed errors for the server/runtime hot paths.
+//!
+//! The scheduling automaton's state lives in the database, so almost every
+//! failure a control-path function can hit is ultimately a storage failure
+//! ([`DbError`]) — but the server also rejects malformed client input and
+//! detects broken internal invariants, and callers need to tell those
+//! apart. Panicking hot paths are budgeted by `sphinx-analysis`' panic
+//! ratchet; new failure modes belong here, not in `expect()`s.
+
+use sphinx_dag::DagValidationError;
+use sphinx_db::DbError;
+use std::fmt;
+
+/// Anything that can go wrong on the server/runtime control paths.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The database rejected a read or write (WAL I/O, codec, corruption).
+    Db(DbError),
+    /// The client submitted a DAG that fails validation.
+    InvalidDag(DagValidationError),
+    /// An internal invariant did not hold (a bug, reported rather than
+    /// panicked so a production deployment can shed the request).
+    Invariant(&'static str),
+}
+
+/// Shorthand for control-path results.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Db(e) => write!(f, "database error: {e}"),
+            CoreError::InvalidDag(e) => write!(f, "invalid DAG: {e}"),
+            CoreError::Invariant(what) => write!(f, "internal invariant violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Db(e) => Some(e),
+            CoreError::InvalidDag(e) => Some(e),
+            CoreError::Invariant(_) => None,
+        }
+    }
+}
+
+impl From<DbError> for CoreError {
+    fn from(e: DbError) -> Self {
+        CoreError::Db(e)
+    }
+}
+
+impl From<DagValidationError> for CoreError {
+    fn from(e: DagValidationError) -> Self {
+        CoreError::InvalidDag(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_distinguishes_variants() {
+        let e: CoreError = DbError::DuplicateKey {
+            table: "jobs".into(),
+            key: 9,
+        }
+        .into();
+        assert!(e.to_string().contains("database error"));
+        let e = CoreError::Invariant("frontier index outside dag");
+        assert!(e.to_string().contains("invariant"));
+    }
+
+    #[test]
+    fn db_errors_keep_their_source() {
+        use std::error::Error;
+        let e: CoreError = DbError::Wal(std::io::Error::other("disk gone")).into();
+        assert!(e.source().is_some());
+    }
+}

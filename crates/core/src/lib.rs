@@ -26,6 +26,7 @@
 //!   from.
 
 pub mod client;
+pub mod error;
 pub mod messages;
 pub mod prediction;
 pub mod reliability;
@@ -37,6 +38,7 @@ pub mod state;
 pub mod strategy;
 
 pub use client::SphinxClient;
+pub use error::{CoreError, CoreResult};
 pub use report::RunReport;
 pub use rpc::ServerHandle;
 pub use runtime::{RuntimeConfig, SphinxRuntime};

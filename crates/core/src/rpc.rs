@@ -100,11 +100,13 @@ impl ServerHandle {
                             now,
                             deadline,
                         } => {
-                            server.submit_dag_with_deadline(&dag, user, now, deadline);
+                            server
+                                .submit_dag_with_deadline(&dag, user, now, deadline)
+                                .expect("dag submission");
                             Response::Done
                         }
                         Request::Report { report, now } => {
-                            server.handle_report(report, now);
+                            server.handle_report(report, now).expect("report handling");
                             Response::Done
                         }
                         Request::PlanCycle {
@@ -113,7 +115,9 @@ impl ServerHandle {
                             reports,
                             transfers,
                         } => {
-                            let plans = server.plan_cycle(now, &mut rls, &reports, &transfers);
+                            let plans = server
+                                .plan_cycle(now, &mut rls, &reports, &transfers)
+                                .expect("plan cycle");
                             Response::Plans { plans, rls }
                         }
                         Request::AddUser { user, vo, priority } => {

@@ -18,6 +18,7 @@
 //! WAL-protected state.
 
 use crate::client::{ClientConfig, SphinxClient};
+use crate::error::CoreResult;
 use crate::messages::{PlanNotice, StatusReport, INBOX, OUTBOX};
 use crate::report::{RunReport, SiteOutcome};
 use crate::server::{ServerConfig, SphinxServer};
@@ -178,9 +179,13 @@ impl SphinxRuntime {
         self.server.telemetry()
     }
 
-    /// Submit a DAG on behalf of a user.
+    /// Submit a DAG on behalf of a user. Panics on an invalid DAG or a
+    /// database failure — use [`SphinxServer::submit_dag`] directly for a
+    /// typed error.
     pub fn submit_dag(&mut self, dag: &Dag, user: UserId) {
-        self.server.submit_dag(dag, user, self.grid.now());
+        self.server
+            .submit_dag(dag, user, self.grid.now())
+            .expect("dag submission");
     }
 
     /// Submit a DAG with a QoS deadline relative to now (the §6
@@ -189,7 +194,8 @@ impl SphinxRuntime {
     pub fn submit_dag_with_deadline(&mut self, dag: &Dag, user: UserId, within: Duration) {
         let now = self.grid.now();
         self.server
-            .submit_dag_with_deadline(dag, user, now, Some(now + within));
+            .submit_dag_with_deadline(dag, user, now, Some(now + within))
+            .expect("dag submission");
     }
 
     fn schedule_initial_wakeups(&mut self) {
@@ -205,12 +211,12 @@ impl SphinxRuntime {
             .schedule_wakeup(now + self.config.timeout_scan_period, TOKEN_TIMEOUT);
     }
 
-    fn planner_tick(&mut self) {
+    fn planner_tick(&mut self) -> CoreResult<()> {
         let now = self.grid.now();
         // 1. Message handling: drain tracker reports from the inbox.
         let inbox: Queue<StatusReport> = Queue::new(&self.db, INBOX);
-        for report in inbox.drain().expect("inbox readable") {
-            self.server.handle_report(report, now);
+        for report in inbox.drain()? {
+            self.server.handle_report(report, now)?;
         }
         // 2. Planning: advance the automaton, write plans to the outbox.
         let reports: BTreeMap<SiteId, sphinx_monitor::Report> = self
@@ -227,10 +233,10 @@ impl SphinxRuntime {
             .server
             .telemetry()
             .wall_clock_enabled()
-            .then(std::time::Instant::now);
+            .then(std::time::Instant::now); // sphinx-lint: allow(wall-clock)
         let plans =
             self.server
-                .plan_cycle(now, self.grid.rls_mut(), &reports, &self.transfer_model);
+                .plan_cycle(now, self.grid.rls_mut(), &reports, &self.transfer_model)?;
         if let Some(start) = wall_start {
             self.server
                 .telemetry()
@@ -238,14 +244,15 @@ impl SphinxRuntime {
         }
         let outbox: Queue<PlanNotice> = Queue::new(&self.db, OUTBOX);
         for plan in &plans {
-            outbox.push(plan).expect("outbox writable");
+            outbox.push(plan)?;
         }
         // 3. The client consumes the outbox and submits.
-        for plan in outbox.drain().expect("outbox readable") {
+        for plan in outbox.drain()? {
             self.client.submit_plan(&mut self.grid, &plan, now);
         }
         self.grid
             .schedule_wakeup(now + self.config.planner_period, TOKEN_PLANNER);
+        Ok(())
     }
 
     fn monitor_tick(&mut self) {
@@ -256,15 +263,16 @@ impl SphinxRuntime {
             .schedule_wakeup(now + self.config.monitor.update_period, TOKEN_MONITOR);
     }
 
-    fn timeout_tick(&mut self) {
+    fn timeout_tick(&mut self) -> CoreResult<()> {
         let now = self.grid.now();
         let reports = self.client.scan_timeouts(&mut self.grid, now);
         let inbox: Queue<StatusReport> = Queue::new(&self.db, INBOX);
         for report in reports {
-            inbox.push(&report).expect("inbox writable");
+            inbox.push(&report)?;
         }
         self.grid
             .schedule_wakeup(now + self.config.timeout_scan_period, TOKEN_TIMEOUT);
+        Ok(())
     }
 
     /// Assemble a runtime whose server is **recovered** from an existing
@@ -279,7 +287,7 @@ impl SphinxRuntime {
         grid: GridSim,
         config: RuntimeConfig,
         db: Arc<Database>,
-    ) -> Self {
+    ) -> CoreResult<Self> {
         let mut rt = Self::with_database(grid, config, db);
         let catalog: Vec<SiteInfo> = rt
             .grid
@@ -303,7 +311,7 @@ impl SphinxRuntime {
                 policy_enabled: rt.config.policy_enabled,
                 archive_site: rt.config.archive_site,
             },
-        );
+        )?;
         telemetry.trace(
             TraceKind::Recovery,
             rt.grid.now(),
@@ -313,59 +321,17 @@ impl SphinxRuntime {
         );
         rt.server.set_telemetry(telemetry);
         rt.started = true; // reuse the surviving wakeup chains
-        rt
+        Ok(rt)
     }
 
-    /// Run until every DAG finishes, the horizon is hit, or `stop_at`
-    /// passes on the simulation clock. Returns whether everything
-    /// finished.
-    pub fn run_until(&mut self, stop_at: SimTime) -> bool {
+    /// The shared event loop behind [`Self::run`] and [`Self::run_until`]:
+    /// step the grid and dispatch notifications until every DAG finishes,
+    /// the grid drains, or `stop` passes on the simulation clock.
+    fn drive(&mut self, stop: SimTime) -> CoreResult<()> {
         self.schedule_initial_wakeups();
         let horizon = SimTime::ZERO + self.config.horizon;
-        let stop = stop_at.min(horizon);
+        let stop = stop.min(horizon);
         while !self.server.all_finished() && self.grid.now() < stop {
-            if !self.grid.step() {
-                break;
-            }
-            let now = self.grid.now();
-            let notifications = self.grid.poll();
-            let db = Arc::clone(&self.db);
-            let inbox: Queue<StatusReport> = Queue::new(&db, INBOX);
-            for n in notifications {
-                match n {
-                    Notification::Wakeup {
-                        token: TOKEN_PLANNER,
-                    } => self.planner_tick(),
-                    Notification::Wakeup {
-                        token: TOKEN_MONITOR,
-                    } => self.monitor_tick(),
-                    Notification::Wakeup {
-                        token: TOKEN_TIMEOUT,
-                    } => self.timeout_tick(),
-                    Notification::Wakeup { .. } => {}
-                    other => {
-                        if let Some(report) = self.client.on_notification(&other, now) {
-                            inbox.push(&report).expect("inbox writable");
-                        }
-                    }
-                }
-            }
-        }
-        self.server.all_finished()
-    }
-
-    /// Tear the runtime down to its surviving grid ("the server process
-    /// died; the grid did not notice").
-    pub fn into_grid(self) -> GridSim {
-        self.grid
-    }
-
-    /// Run until every DAG finishes or the horizon is hit, then build the
-    /// report.
-    pub fn run(&mut self) -> RunReport {
-        self.schedule_initial_wakeups();
-        let horizon = SimTime::ZERO + self.config.horizon;
-        while !self.server.all_finished() && self.grid.now() < horizon {
             if !self.grid.step() {
                 break; // grid drained (no recurring processes configured)
             }
@@ -377,23 +343,56 @@ impl SphinxRuntime {
                 match n {
                     Notification::Wakeup {
                         token: TOKEN_PLANNER,
-                    } => self.planner_tick(),
+                    } => self.planner_tick()?,
                     Notification::Wakeup {
                         token: TOKEN_MONITOR,
                     } => self.monitor_tick(),
                     Notification::Wakeup {
                         token: TOKEN_TIMEOUT,
-                    } => self.timeout_tick(),
+                    } => self.timeout_tick()?,
                     Notification::Wakeup { .. } => {}
                     other => {
                         if let Some(report) = self.client.on_notification(&other, now) {
-                            inbox.push(&report).expect("inbox writable");
+                            inbox.push(&report)?;
                         }
                     }
                 }
             }
         }
-        self.build_report()
+        Ok(())
+    }
+
+    /// Run until every DAG finishes, the horizon is hit, or `stop_at`
+    /// passes on the simulation clock. Returns whether everything
+    /// finished; a database failure surfaces as a typed error.
+    pub fn try_run_until(&mut self, stop_at: SimTime) -> CoreResult<bool> {
+        self.drive(stop_at)?;
+        Ok(self.server.all_finished())
+    }
+
+    /// Like [`Self::try_run_until`], panicking on database failure (the
+    /// in-memory experiment configurations cannot fail).
+    pub fn run_until(&mut self, stop_at: SimTime) -> bool {
+        self.try_run_until(stop_at).expect("runtime drive")
+    }
+
+    /// Tear the runtime down to its surviving grid ("the server process
+    /// died; the grid did not notice").
+    pub fn into_grid(self) -> GridSim {
+        self.grid
+    }
+
+    /// Run until every DAG finishes or the horizon is hit, then build the
+    /// report. A database failure surfaces as a typed error.
+    pub fn try_run(&mut self) -> CoreResult<RunReport> {
+        self.drive(SimTime::MAX)?;
+        Ok(self.build_report())
+    }
+
+    /// Like [`Self::try_run`], panicking on database failure (the
+    /// in-memory experiment configurations cannot fail).
+    pub fn run(&mut self) -> RunReport {
+        self.try_run().expect("runtime drive")
     }
 
     /// Assemble the [`RunReport`] from the database and module state.

@@ -13,6 +13,7 @@
 //! submissions are conservatively reset to `Ready` and replanned, which is
 //! the fault-tolerance property the paper's §3.1 claims.
 
+use crate::error::{CoreError, CoreResult};
 use crate::messages::{CancelCause, PlanNotice, StatusReport};
 use crate::prediction::Prediction;
 use crate::reliability::{FlagTransition, Reliability};
@@ -169,7 +170,11 @@ impl SphinxServer {
     /// `Ready`: the client-side tracker state died with the server, so the
     /// safe move is to cancel-and-replan, exactly what the paper's tracker
     /// does for held jobs.
-    pub fn recover(db: Arc<Database>, catalog: Vec<SiteInfo>, config: ServerConfig) -> Self {
+    pub fn recover(
+        db: Arc<Database>,
+        catalog: Vec<SiteInfo>,
+        config: ServerConfig,
+    ) -> CoreResult<Self> {
         let mut server = SphinxServer::new(db, catalog, config);
         // Restore tracker-derived statistics.
         for row in server.db.scan::<SiteStatsRow>() {
@@ -195,8 +200,7 @@ impl SphinxServer {
                     s if s.is_outstanding() => {
                         server
                             .db
-                            .update::<JobRow>(job.id.as_key(), |j| j.reset_for_replan())
-                            .expect("job row exists");
+                            .update::<JobRow>(job.id.as_key(), |j| j.reset_for_replan())?;
                     }
                     _ => {}
                 }
@@ -209,7 +213,7 @@ impl SphinxServer {
             }
             // `Received` DAGs will be reduced by the next plan cycle.
         }
-        server
+        Ok(server)
     }
 
     /// The policy engine (to register VOs, users and quotas).
@@ -243,8 +247,8 @@ impl SphinxServer {
     }
 
     /// Accept a DAG scheduling request from a client.
-    pub fn submit_dag(&mut self, dag: &Dag, user: UserId, now: SimTime) {
-        self.submit_dag_with_deadline(dag, user, now, None);
+    pub fn submit_dag(&mut self, dag: &Dag, user: UserId, now: SimTime) -> CoreResult<()> {
+        self.submit_dag_with_deadline(dag, user, now, None)
     }
 
     /// Accept a DAG with a QoS deadline: ready jobs of tighter-deadline
@@ -256,23 +260,22 @@ impl SphinxServer {
         user: UserId,
         now: SimTime,
         deadline: Option<SimTime>,
-    ) {
-        dag.validate().expect("client submits valid DAGs");
+    ) -> CoreResult<()> {
+        dag.validate()?;
         let mut txn = self.db.txn();
         txn.put(&DagRow {
             id: dag.id,
             dag: dag.clone(),
             user,
-            state: DagState::Received,
+            state: DagState::Received, // sphinx-fsa: init Received
             submitted_at: now,
             finished_at: None,
             deadline,
-        })
-        .expect("dag row serializes");
+        })?;
         for job in &dag.jobs {
-            txn.put(&JobRow::new(job.id)).expect("job row serializes");
+            txn.put(&JobRow::new(job.id))?;
         }
-        txn.commit().expect("dag submission commits");
+        txn.commit()?;
         self.dags_total += 1;
         self.telemetry.counter_add("dag.submitted", 1);
         self.telemetry.trace(
@@ -286,6 +289,7 @@ impl SphinxServer {
             self.telemetry
                 .note_job_state(job.id.as_key(), "unready", now);
         }
+        Ok(())
     }
 
     /// True when every submitted DAG reached `Finished`.
@@ -294,15 +298,14 @@ impl SphinxServer {
     }
 
     /// Completion check for one DAG.
-    fn maybe_finish_dag(&mut self, dag_id: DagId, now: SimTime) {
+    fn maybe_finish_dag(&mut self, dag_id: DagId, now: SimTime) -> CoreResult<()> {
         let finished = self.frontiers.get(&dag_id).is_some_and(|f| f.is_finished());
         if finished {
-            self.db
-                .update::<DagRow>(dag_id.0, |d| {
-                    d.state = DagState::Finished;
-                    d.finished_at = Some(now);
-                })
-                .expect("dag row exists");
+            self.db.update::<DagRow>(dag_id.0, |d| {
+                // sphinx-fsa: Running -> Finished
+                d.advance(DagState::Finished);
+                d.finished_at = Some(now);
+            })?;
             self.frontiers.remove(&dag_id);
             self.dags_finished += 1;
             self.telemetry.counter_add("dag.finished", 1);
@@ -314,21 +317,19 @@ impl SphinxServer {
                 format!("dag={}", dag_id.0),
             );
         }
+        Ok(())
     }
 
-    fn bump_site_stats(&self, site: SiteId, f: impl FnOnce(&mut SiteStatsRow)) {
+    fn bump_site_stats(&self, site: SiteId, f: impl FnOnce(&mut SiteStatsRow)) -> CoreResult<()> {
         let key = site.0 as u64;
         if !self.db.contains::<SiteStatsRow>(key) {
-            self.db
-                .put(&SiteStatsRow {
-                    site: site.0,
-                    ..SiteStatsRow::default()
-                })
-                .expect("site stats row serializes");
+            self.db.put(&SiteStatsRow {
+                site: site.0,
+                ..SiteStatsRow::default()
+            })?;
         }
-        self.db
-            .update::<SiteStatsRow>(key, f)
-            .expect("site stats row exists");
+        self.db.update::<SiteStatsRow>(key, f)?;
+        Ok(())
     }
 
     fn dec_outstanding(&mut self, site: SiteId) {
@@ -338,20 +339,23 @@ impl SphinxServer {
     }
 
     /// Process one tracker report (the message-handling module's work).
-    pub fn handle_report(&mut self, report: StatusReport, now: SimTime) {
+    ///
+    /// Reports can be late, duplicated or outright bogus (a report for a
+    /// job that was never planned); each arm guards on the automaton's
+    /// current state and ignores reports the transition table forbids.
+    pub fn handle_report(&mut self, report: StatusReport, now: SimTime) -> CoreResult<()> {
         let job = report.job();
         let key = job.as_key();
         match report {
             StatusReport::Queued { site, .. } => {
                 let mut advanced = false;
-                self.db
-                    .update::<JobRow>(key, |j| {
-                        if j.state == JobState::Submitted {
-                            j.state = JobState::Queued;
-                            advanced = true;
-                        }
-                    })
-                    .expect("job row exists");
+                self.db.update::<JobRow>(key, |j| {
+                    if j.state == JobState::Submitted {
+                        // sphinx-fsa: Submitted -> Queued
+                        j.advance(JobState::Queued);
+                        advanced = true;
+                    }
+                })?;
                 if advanced {
                     self.telemetry.note_job_state(key, "queued", now);
                     self.telemetry.trace(
@@ -365,14 +369,13 @@ impl SphinxServer {
             }
             StatusReport::Running { site, .. } => {
                 let mut advanced = false;
-                self.db
-                    .update::<JobRow>(key, |j| {
-                        if matches!(j.state, JobState::Submitted | JobState::Queued) {
-                            j.state = JobState::Running;
-                            advanced = true;
-                        }
-                    })
-                    .expect("job row exists");
+                self.db.update::<JobRow>(key, |j| {
+                    if matches!(j.state, JobState::Submitted | JobState::Queued) {
+                        // sphinx-fsa: Submitted|Queued -> Running
+                        j.advance(JobState::Running);
+                        advanced = true;
+                    }
+                })?;
                 if advanced {
                     self.telemetry.note_job_state(key, "running", now);
                     self.telemetry.trace(
@@ -392,18 +395,17 @@ impl SphinxServer {
                 ..
             } => {
                 let Some(row) = self.db.get::<JobRow>(key) else {
-                    return;
+                    return Ok(());
                 };
-                if row.state.is_terminal() {
-                    return; // duplicate report
+                if !row.state.is_outstanding() {
+                    return Ok(()); // duplicate, stale (post-replan) or bogus
                 }
-                self.db
-                    .update::<JobRow>(key, |j| {
-                        j.state = JobState::Finished;
-                        j.exec_secs = Some(exec.as_secs_f64());
-                        j.idle_secs = Some(idle.as_secs_f64());
-                    })
-                    .expect("job row exists");
+                self.db.update::<JobRow>(key, |j| {
+                    // sphinx-fsa: Submitted|Queued|Running -> Finished
+                    j.advance(JobState::Finished);
+                    j.exec_secs = Some(exec.as_secs_f64());
+                    j.idle_secs = Some(idle.as_secs_f64());
+                })?;
                 if let Some(res) = row.reservation {
                     let actual = Requirement::new(exec.as_secs_f64() as u64, 0);
                     let _ = self.policy.commit(res, actual);
@@ -424,7 +426,7 @@ impl SphinxServer {
                     s.completed += 1;
                     s.completion_secs_sum += total.as_secs_f64();
                     s.completion_samples += 1;
-                });
+                })?;
                 self.dec_outstanding(site);
                 if let Some(frontier) = self.frontiers.get_mut(&job.dag) {
                     frontier.complete(job.index);
@@ -433,14 +435,13 @@ impl SphinxServer {
                     for idx in ready {
                         let child = JobId::new(job.dag, idx);
                         let mut advanced = false;
-                        self.db
-                            .update::<JobRow>(child.as_key(), |j| {
-                                if j.state == JobState::Unready {
-                                    j.state = JobState::Ready;
-                                    advanced = true;
-                                }
-                            })
-                            .expect("child row exists");
+                        self.db.update::<JobRow>(child.as_key(), |j| {
+                            if j.state == JobState::Unready {
+                                // sphinx-fsa: Unready -> Ready
+                                j.advance(JobState::Ready);
+                                advanced = true;
+                            }
+                        })?;
                         if advanced {
                             self.telemetry.note_job_state(child.as_key(), "ready", now);
                             self.telemetry.trace(
@@ -453,25 +454,24 @@ impl SphinxServer {
                         }
                     }
                 }
-                self.maybe_finish_dag(job.dag, now);
+                self.maybe_finish_dag(job.dag, now)?;
             }
             StatusReport::Cancelled { site, cause, .. } => {
                 let Some(row) = self.db.get::<JobRow>(key) else {
-                    return;
+                    return Ok(());
                 };
-                if row.state.is_terminal() || row.state == JobState::Ready {
-                    return; // raced with completion or already replanned
+                if !row.state.is_outstanding() {
+                    return Ok(()); // raced with completion, already replanned, or bogus
                 }
                 if let Some(res) = row.reservation {
                     let _ = self.policy.release(res);
                 }
-                self.db
-                    .update::<JobRow>(key, |j| j.reset_for_replan())
-                    .expect("job row exists");
+                // reset_for_replan is the Submitted|Queued|Running -> Ready edge.
+                self.db.update::<JobRow>(key, |j| j.reset_for_replan())?;
                 let transition = self.reliability.record_cancelled_at(site, now);
                 self.note_flag_transition(transition, site, now);
                 self.telemetry.note_job_state(key, "ready", now);
-                self.bump_site_stats(site, |s| s.cancelled += 1);
+                self.bump_site_stats(site, |s| s.cancelled += 1)?;
                 self.dec_outstanding(site);
                 let cause_label = match cause {
                     CancelCause::Held => {
@@ -497,11 +497,12 @@ impl SphinxServer {
                 }
             }
         }
+        Ok(())
     }
 
     /// Reduce newly received DAGs against the replica catalog (the DAG
     /// reducer module).
-    fn reduce_received(&mut self, rls: &mut ReplicaService, now: SimTime) {
+    fn reduce_received(&mut self, rls: &mut ReplicaService, now: SimTime) -> CoreResult<()> {
         let received = self
             .db
             .scan_where::<DagRow>("/state", &serde_json::json!("Received"));
@@ -514,27 +515,29 @@ impl SphinxServer {
                 .collect();
             // One clubbed RLS call for the whole DAG (§3.4).
             let existing = rls.exists_batch(&outputs);
-            let reduction = reduce(&dag_row.dag, |f| {
-                let idx = outputs.iter().position(|o| o == f).expect("output of dag");
-                existing[idx]
-            });
+            let exists_of: BTreeMap<&LogicalFile, bool> =
+                outputs.iter().zip(existing.iter().copied()).collect();
+            let reduction = reduce(&dag_row.dag, |f| exists_of.get(f).copied().unwrap_or(false));
             let mut txn = self.db.txn();
             for &idx in &reduction.eliminated {
                 let mut row = JobRow::new(JobId::new(dag_row.id, idx));
-                row.state = JobState::Eliminated;
-                txn.put(&row).expect("row serializes");
+                // sphinx-fsa: Unready -> Eliminated
+                row.advance(JobState::Eliminated);
+                txn.put(&row)?;
             }
             let frontier = Frontier::with_completed(&dag_row.dag, &reduction.eliminated);
             // Mark the initially ready jobs.
             for idx in frontier.ready() {
                 let mut row = JobRow::new(JobId::new(dag_row.id, idx));
-                row.state = JobState::Ready;
-                txn.put(&row).expect("row serializes");
+                // sphinx-fsa: Unready -> Ready
+                row.advance(JobState::Ready);
+                txn.put(&row)?;
             }
             let mut updated = dag_row.clone();
-            updated.state = DagState::Running;
-            txn.put(&updated).expect("row serializes");
-            txn.commit().expect("reduction commits");
+            // sphinx-fsa: Received -> Running
+            updated.advance(DagState::Running);
+            txn.put(&updated)?;
+            txn.commit()?;
             for &idx in &reduction.eliminated {
                 let jid = JobId::new(dag_row.id, idx).as_key();
                 self.telemetry.counter_add("job.eliminated", 1);
@@ -554,8 +557,9 @@ impl SphinxServer {
                     .trace(TraceKind::JobReady, now, Some(jid), None, String::new());
             }
             self.frontiers.insert(dag_row.id, frontier);
-            self.maybe_finish_dag(dag_row.id, now);
+            self.maybe_finish_dag(dag_row.id, now)?;
         }
+        Ok(())
     }
 
     /// The resource requirement of one job (eq. 4's `required`).
@@ -616,7 +620,7 @@ impl SphinxServer {
         rls: &mut ReplicaService,
         reports: &BTreeMap<SiteId, Report>,
         transfers: &TransferModel,
-    ) -> Vec<PlanNotice> {
+    ) -> CoreResult<Vec<PlanNotice>> {
         self.telemetry.counter_add("plan.cycles", 1);
         if let Some(prev) = self.last_plan_at {
             self.telemetry
@@ -636,7 +640,7 @@ impl SphinxServer {
             None,
             format!("reports={}", reports.len()),
         );
-        self.reduce_received(rls, now);
+        self.reduce_received(rls, now)?;
         // The frontiers' ready sets mirror the `Ready` rows exactly and
         // avoid deserializing the whole job table every cycle.
         let mut ready: Vec<JobId> = self
@@ -709,7 +713,7 @@ impl SphinxServer {
             let spec = dag_row
                 .dag
                 .job(job_id.index)
-                .expect("job index valid")
+                .ok_or(CoreError::Invariant("frontier index outside its dag"))?
                 .clone();
             let requirement = Self::requirement_of(&spec);
             // Policy filter (eq. 4) …
@@ -753,15 +757,14 @@ impl SphinxServer {
             } else {
                 None
             };
-            self.db
-                .update::<JobRow>(job_id.as_key(), |j| {
-                    j.state = JobState::Submitted;
-                    j.site = Some(site);
-                    j.reservation = reservation;
-                    j.attempts += 1;
-                    j.submitted_at = Some(now);
-                })
-                .expect("job row exists");
+            self.db.update::<JobRow>(job_id.as_key(), |j| {
+                // sphinx-fsa: Ready -> Submitted
+                j.advance(JobState::Submitted);
+                j.site = Some(site);
+                j.reservation = reservation;
+                j.attempts += 1;
+                j.submitted_at = Some(now);
+            })?;
             if let Some(frontier) = self.frontiers.get_mut(&job_id.dag) {
                 frontier.take(job_id.index);
             }
@@ -791,7 +794,7 @@ impl SphinxServer {
                 archive_to,
             });
         }
-        plans
+        Ok(plans)
     }
 }
 
@@ -852,14 +855,16 @@ mod tests {
     fn submit_and_reduce_creates_ready_roots() {
         let dag = small_dag(1);
         let mut s = server(StrategyKind::RoundRobin);
-        s.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        s.submit_dag(&dag, UserId(1), SimTime::ZERO).unwrap();
         let mut rls = seeded_rls(&dag);
-        let plans = s.plan_cycle(
-            SimTime::ZERO,
-            &mut rls,
-            &BTreeMap::new(),
-            &TransferModel::default(),
-        );
+        let plans = s
+            .plan_cycle(
+                SimTime::ZERO,
+                &mut rls,
+                &BTreeMap::new(),
+                &TransferModel::default(),
+            )
+            .unwrap();
         assert!(!plans.is_empty());
         // Planned jobs are the DAG's roots.
         let frontier = Frontier::new(&dag);
@@ -875,18 +880,20 @@ mod tests {
     fn fully_materialized_dag_finishes_without_planning() {
         let dag = small_dag(2);
         let mut s = server(StrategyKind::RoundRobin);
-        s.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        s.submit_dag(&dag, UserId(1), SimTime::ZERO).unwrap();
         let mut rls = seeded_rls(&dag);
         // Every output already exists: the reducer eliminates everything.
         for job in &dag.jobs {
             rls.register(job.output.file.clone(), SiteId(1));
         }
-        let plans = s.plan_cycle(
-            SimTime::ZERO,
-            &mut rls,
-            &BTreeMap::new(),
-            &TransferModel::default(),
-        );
+        let plans = s
+            .plan_cycle(
+                SimTime::ZERO,
+                &mut rls,
+                &BTreeMap::new(),
+                &TransferModel::default(),
+            )
+            .unwrap();
         assert!(plans.is_empty());
         assert!(s.all_finished());
     }
@@ -895,7 +902,7 @@ mod tests {
     fn completion_reports_advance_the_dag_to_finish() {
         let dag = small_dag(3);
         let mut s = server(StrategyKind::RoundRobin);
-        s.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        s.submit_dag(&dag, UserId(1), SimTime::ZERO).unwrap();
         let mut rls = seeded_rls(&dag);
         let model = TransferModel::default();
         let mut now = SimTime::ZERO;
@@ -903,7 +910,9 @@ mod tests {
         while !s.all_finished() {
             guard += 1;
             assert!(guard < 100, "dag should finish");
-            let plans = s.plan_cycle(now, &mut rls, &BTreeMap::new(), &model);
+            let plans = s
+                .plan_cycle(now, &mut rls, &BTreeMap::new(), &model)
+                .unwrap();
             for p in plans {
                 // Pretend the grid ran the job instantly and registered
                 // its output.
@@ -917,7 +926,8 @@ mod tests {
                         idle: Duration::from_secs(20),
                     },
                     now,
-                );
+                )
+                .unwrap();
             }
             now += Duration::from_secs(10);
         }
@@ -929,10 +939,12 @@ mod tests {
     fn cancellation_triggers_replan_away_from_bad_site() {
         let dag = small_dag(4);
         let mut s = server(StrategyKind::RoundRobin);
-        s.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        s.submit_dag(&dag, UserId(1), SimTime::ZERO).unwrap();
         let mut rls = seeded_rls(&dag);
         let model = TransferModel::default();
-        let plans = s.plan_cycle(SimTime::ZERO, &mut rls, &BTreeMap::new(), &model);
+        let plans = s
+            .plan_cycle(SimTime::ZERO, &mut rls, &BTreeMap::new(), &model)
+            .unwrap();
         let victim = plans[0].clone();
         s.handle_report(
             StatusReport::Cancelled {
@@ -941,13 +953,16 @@ mod tests {
                 cause: CancelCause::Timeout,
             },
             SimTime::from_secs(60),
-        );
+        )
+        .unwrap();
         assert_eq!(s.stats().reschedules_timeout, 1);
         assert!(!s
             .reliability()
             .is_reliable(victim.site, SimTime::from_secs(60)));
         // The job is planned again, and feedback steers it elsewhere.
-        let replans = s.plan_cycle(SimTime::from_secs(60), &mut rls, &BTreeMap::new(), &model);
+        let replans = s
+            .plan_cycle(SimTime::from_secs(60), &mut rls, &BTreeMap::new(), &model)
+            .unwrap();
         let rp = replans
             .iter()
             .find(|p| p.job == victim.job)
@@ -975,14 +990,16 @@ mod tests {
         // Quota only at site 2.
         s.policy_mut()
             .grant(UserId(1), SiteId(2), Requirement::new(1_000_000, 1_000_000));
-        s.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        s.submit_dag(&dag, UserId(1), SimTime::ZERO).unwrap();
         let mut rls = seeded_rls(&dag);
-        let plans = s.plan_cycle(
-            SimTime::ZERO,
-            &mut rls,
-            &BTreeMap::new(),
-            &TransferModel::default(),
-        );
+        let plans = s
+            .plan_cycle(
+                SimTime::ZERO,
+                &mut rls,
+                &BTreeMap::new(),
+                &TransferModel::default(),
+            )
+            .unwrap();
         assert!(!plans.is_empty());
         assert!(plans.iter().all(|p| p.site == SiteId(2)));
         assert!(s.policy().outstanding_reservations() > 0);
@@ -1001,14 +1018,16 @@ mod tests {
                 archive_site: None,
             },
         );
-        s.submit_dag(&dag, UserId(9), SimTime::ZERO);
+        s.submit_dag(&dag, UserId(9), SimTime::ZERO).unwrap();
         let mut rls = seeded_rls(&dag);
-        let plans = s.plan_cycle(
-            SimTime::ZERO,
-            &mut rls,
-            &BTreeMap::new(),
-            &TransferModel::default(),
-        );
+        let plans = s
+            .plan_cycle(
+                SimTime::ZERO,
+                &mut rls,
+                &BTreeMap::new(),
+                &TransferModel::default(),
+            )
+            .unwrap();
         assert!(plans.is_empty());
     }
 
@@ -1018,10 +1037,12 @@ mod tests {
         let wal = sphinx_db::MemWal::shared();
         let db = Arc::new(Database::with_wal(Box::new(wal.clone())));
         let mut s = SphinxServer::new(db, catalog(3, 4), ServerConfig::default());
-        s.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        s.submit_dag(&dag, UserId(1), SimTime::ZERO).unwrap();
         let mut rls = seeded_rls(&dag);
         let model = TransferModel::default();
-        let plans = s.plan_cycle(SimTime::ZERO, &mut rls, &BTreeMap::new(), &model);
+        let plans = s
+            .plan_cycle(SimTime::ZERO, &mut rls, &BTreeMap::new(), &model)
+            .unwrap();
         assert!(!plans.is_empty());
         // Complete exactly one job, leave the rest in flight; then crash.
         let done = plans[0].clone();
@@ -1035,15 +1056,19 @@ mod tests {
                 idle: Duration::from_secs(10),
             },
             SimTime::from_secs(90),
-        );
+        )
+        .unwrap();
         drop(s); // crash
 
         let recovered_db = Arc::new(Database::recover(Box::new(wal)).unwrap());
-        let mut s2 = SphinxServer::recover(recovered_db, catalog(3, 4), ServerConfig::default());
+        let mut s2 =
+            SphinxServer::recover(recovered_db, catalog(3, 4), ServerConfig::default()).unwrap();
         // The finished job stayed finished; in-flight ones are replanned.
         let row = s2.db.get::<JobRow>(done.job.as_key()).unwrap();
         assert_eq!(row.state, JobState::Finished);
-        let replans = s2.plan_cycle(SimTime::from_secs(100), &mut rls, &BTreeMap::new(), &model);
+        let replans = s2
+            .plan_cycle(SimTime::from_secs(100), &mut rls, &BTreeMap::new(), &model)
+            .unwrap();
         // Every in-flight job is replanned (plus any children the one
         // completion made ready); the finished job is not.
         assert!(replans.len() >= plans.len() - 1);
@@ -1057,14 +1082,16 @@ mod tests {
     fn duplicate_completion_reports_are_idempotent() {
         let dag = small_dag(8);
         let mut s = server(StrategyKind::RoundRobin);
-        s.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        s.submit_dag(&dag, UserId(1), SimTime::ZERO).unwrap();
         let mut rls = seeded_rls(&dag);
-        let plans = s.plan_cycle(
-            SimTime::ZERO,
-            &mut rls,
-            &BTreeMap::new(),
-            &TransferModel::default(),
-        );
+        let plans = s
+            .plan_cycle(
+                SimTime::ZERO,
+                &mut rls,
+                &BTreeMap::new(),
+                &TransferModel::default(),
+            )
+            .unwrap();
         let p = plans[0].clone();
         let report = StatusReport::Completed {
             job: p.job,
@@ -1073,8 +1100,9 @@ mod tests {
             exec: Duration::from_secs(60),
             idle: Duration::from_secs(20),
         };
-        s.handle_report(report.clone(), SimTime::from_secs(100));
-        s.handle_report(report, SimTime::from_secs(101));
+        s.handle_report(report.clone(), SimTime::from_secs(100))
+            .unwrap();
+        s.handle_report(report, SimTime::from_secs(101)).unwrap();
         assert_eq!(s.reliability().total_completed(), 1);
         assert_eq!(s.prediction().samples(p.site), 1);
     }
@@ -1092,18 +1120,20 @@ mod tests {
             .add_user(UserId(1), sphinx_policy::VoId(0), 1);
         s.policy_mut()
             .add_user(UserId(2), sphinx_policy::VoId(0), 50);
-        s.submit_dag(&dag_low, UserId(1), SimTime::ZERO);
-        s.submit_dag(&dag_high, UserId(2), SimTime::ZERO);
+        s.submit_dag(&dag_low, UserId(1), SimTime::ZERO).unwrap();
+        s.submit_dag(&dag_high, UserId(2), SimTime::ZERO).unwrap();
         let mut rls = seeded_rls(&dag_low);
         for f in dag_high.external_inputs() {
             rls.register(f, SiteId(0));
         }
-        let plans = s.plan_cycle(
-            SimTime::ZERO,
-            &mut rls,
-            &BTreeMap::new(),
-            &TransferModel::default(),
-        );
+        let plans = s
+            .plan_cycle(
+                SimTime::ZERO,
+                &mut rls,
+                &BTreeMap::new(),
+                &TransferModel::default(),
+            )
+            .unwrap();
         let first_low = plans
             .iter()
             .position(|p| p.job.dag == dag_low.id)
@@ -1131,23 +1161,26 @@ mod tests {
             .record(SiteId(0), sphinx_sim::Duration::from_secs(500));
         s.prediction
             .record(SiteId(2), sphinx_sim::Duration::from_secs(500));
-        s.submit_dag(&dag_slow, UserId(1), SimTime::ZERO);
+        s.submit_dag(&dag_slow, UserId(1), SimTime::ZERO).unwrap();
         s.submit_dag_with_deadline(
             &dag_urgent,
             UserId(1),
             SimTime::ZERO,
             Some(SimTime::from_secs(600)),
-        );
+        )
+        .unwrap();
         let mut rls = seeded_rls(&dag_slow);
         for f in dag_urgent.external_inputs() {
             rls.register(f, SiteId(0));
         }
-        let plans = s.plan_cycle(
-            SimTime::ZERO,
-            &mut rls,
-            &BTreeMap::new(),
-            &TransferModel::default(),
-        );
+        let plans = s
+            .plan_cycle(
+                SimTime::ZERO,
+                &mut rls,
+                &BTreeMap::new(),
+                &TransferModel::default(),
+            )
+            .unwrap();
         // Urgent jobs are planned before deadline-free ones (EDF)…
         let first_non_urgent = plans
             .iter()
@@ -1173,14 +1206,16 @@ mod tests {
     fn queued_and_running_reports_advance_state() {
         let dag = small_dag(9);
         let mut s = server(StrategyKind::RoundRobin);
-        s.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        s.submit_dag(&dag, UserId(1), SimTime::ZERO).unwrap();
         let mut rls = seeded_rls(&dag);
-        let plans = s.plan_cycle(
-            SimTime::ZERO,
-            &mut rls,
-            &BTreeMap::new(),
-            &TransferModel::default(),
-        );
+        let plans = s
+            .plan_cycle(
+                SimTime::ZERO,
+                &mut rls,
+                &BTreeMap::new(),
+                &TransferModel::default(),
+            )
+            .unwrap();
         let p = &plans[0];
         s.handle_report(
             StatusReport::Queued {
@@ -1188,7 +1223,8 @@ mod tests {
                 site: p.site,
             },
             SimTime::from_secs(10),
-        );
+        )
+        .unwrap();
         assert_eq!(
             s.db.get::<JobRow>(p.job.as_key()).unwrap().state,
             JobState::Queued
@@ -1199,7 +1235,8 @@ mod tests {
                 site: p.site,
             },
             SimTime::from_secs(20),
-        );
+        )
+        .unwrap();
         assert_eq!(
             s.db.get::<JobRow>(p.job.as_key()).unwrap().state,
             JobState::Running

@@ -14,7 +14,7 @@ use sphinx_policy::UserId;
 use sphinx_sim::SimTime;
 
 /// Lifecycle of a DAG inside the server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum DagState {
     /// Accepted from the client, awaiting reduction.
     Received,
@@ -24,8 +24,40 @@ pub enum DagState {
     Finished,
 }
 
+impl DagState {
+    /// Every variant, in declaration order. `sphinx-analysis` lexes the
+    /// enum above and cross-checks it against this list, so a variant
+    /// added to one but not the other fails the static-analysis pass.
+    pub const VARIANTS: [DagState; 3] = [DagState::Received, DagState::Running, DagState::Finished];
+
+    /// Stable lower-case name (matches the telemetry state labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DagState::Received => "received",
+            DagState::Running => "running",
+            DagState::Finished => "finished",
+        }
+    }
+
+    /// States a freshly inserted row may carry.
+    pub fn is_initial(self) -> bool {
+        matches!(self, DagState::Received)
+    }
+
+    /// The declared legal-transition table of the DAG automaton (§3.2).
+    /// This is the single source of truth: the runtime choke point
+    /// ([`DagRow::advance`]) asserts it, and `sphinx-analysis` verifies
+    /// every state-assignment site in the server against it.
+    pub fn can_transition_to(self, next: DagState) -> bool {
+        matches!(
+            (self, next),
+            (DagState::Received, DagState::Running) | (DagState::Running, DagState::Finished)
+        )
+    }
+}
+
 /// Lifecycle of one job inside the server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum JobState {
     /// Waiting for parent jobs to produce inputs.
     Unready,
@@ -44,6 +76,37 @@ pub enum JobState {
 }
 
 impl JobState {
+    /// Every variant, in declaration order. `sphinx-analysis` lexes the
+    /// enum above and cross-checks it against this list, so a variant
+    /// added to one but not the other fails the static-analysis pass.
+    pub const VARIANTS: [JobState; 7] = [
+        JobState::Unready,
+        JobState::Ready,
+        JobState::Submitted,
+        JobState::Queued,
+        JobState::Running,
+        JobState::Finished,
+        JobState::Eliminated,
+    ];
+
+    /// Stable lower-case name (matches the telemetry state labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Unready => "unready",
+            JobState::Ready => "ready",
+            JobState::Submitted => "submitted",
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Finished => "finished",
+            JobState::Eliminated => "eliminated",
+        }
+    }
+
+    /// States a freshly inserted row may carry.
+    pub fn is_initial(self) -> bool {
+        matches!(self, JobState::Unready)
+    }
+
     /// States in which the job occupies (or will occupy) remote resources
     /// — used for the strategies' `planned_jobs` bookkeeping.
     pub fn is_outstanding(self) -> bool {
@@ -56,6 +119,33 @@ impl JobState {
     /// Terminal states.
     pub fn is_terminal(self) -> bool {
         matches!(self, JobState::Finished | JobState::Eliminated)
+    }
+
+    /// The declared legal-transition table of the job automaton (§3.2).
+    ///
+    /// This is the single source of truth: the runtime choke point
+    /// ([`JobRow::advance`]) asserts it, and `sphinx-analysis` verifies
+    /// every state-assignment site in the server against it. The
+    /// `Submitted → Running`/`Submitted → Finished`/`Queued → Finished`
+    /// edges exist because tracker reports can coalesce (a fast job's
+    /// queued/running reports may never be observed); the `→ Ready` edges
+    /// are the cancel/recovery replan path.
+    pub fn can_transition_to(self, next: JobState) -> bool {
+        matches!(
+            (self, next),
+            (JobState::Unready, JobState::Ready)
+                | (JobState::Unready, JobState::Eliminated)
+                | (JobState::Ready, JobState::Submitted)
+                | (JobState::Submitted, JobState::Queued)
+                | (JobState::Submitted, JobState::Running)
+                | (JobState::Submitted, JobState::Finished)
+                | (JobState::Submitted, JobState::Ready)
+                | (JobState::Queued, JobState::Running)
+                | (JobState::Queued, JobState::Finished)
+                | (JobState::Queued, JobState::Ready)
+                | (JobState::Running, JobState::Finished)
+                | (JobState::Running, JobState::Ready)
+        )
     }
 }
 
@@ -80,6 +170,22 @@ pub struct DagRow {
     /// deadline set, the planner orders ready jobs earliest-deadline-first.
     #[serde(default)]
     pub deadline: Option<SimTime>,
+}
+
+impl DagRow {
+    /// The DAG automaton's single state-assignment choke point. Every
+    /// module that moves a DAG to its next state goes through here, so the
+    /// declared transition table is enforced (in debug builds) at runtime
+    /// exactly where `sphinx-analysis` verifies it statically.
+    pub fn advance(&mut self, next: DagState) {
+        debug_assert!(
+            self.state.can_transition_to(next),
+            "illegal DAG transition {:?} -> {next:?} for dag {}",
+            self.state,
+            self.id.0
+        );
+        self.state = next; // sphinx-lint: allow(fsa-raw-assignment)
+    }
 }
 
 impl Record for DagRow {
@@ -117,7 +223,7 @@ impl JobRow {
     pub fn new(id: JobId) -> Self {
         JobRow {
             id,
-            state: JobState::Unready,
+            state: JobState::Unready, // sphinx-fsa: init Unready
             site: None,
             handle: None,
             reservation: None,
@@ -128,9 +234,24 @@ impl JobRow {
         }
     }
 
-    /// Reset the row for a replan (after a hold/timeout).
+    /// The job automaton's single state-assignment choke point. Every
+    /// module that moves a job to its next state goes through here, so the
+    /// declared transition table is enforced (in debug builds) at runtime
+    /// exactly where `sphinx-analysis` verifies it statically.
+    pub fn advance(&mut self, next: JobState) {
+        debug_assert!(
+            self.state.can_transition_to(next),
+            "illegal job transition {:?} -> {next:?} for job {:?}",
+            self.state,
+            self.id
+        );
+        self.state = next; // sphinx-lint: allow(fsa-raw-assignment)
+    }
+
+    /// Reset the row for a replan (after a hold/timeout/crash recovery).
     pub fn reset_for_replan(&mut self) {
-        self.state = JobState::Ready;
+        // sphinx-fsa: Submitted|Queued|Running -> Ready
+        self.advance(JobState::Ready);
         self.site = None;
         self.handle = None;
         self.reservation = None;

@@ -384,7 +384,8 @@ pub fn recovery(params: ExperimentParams, crash_after: Duration) -> RecoveryOutc
     let wal_entries = wal.len();
     let recovered = Arc::new(Database::recover(Box::new(wal)).expect("log replays"));
     let mut rt2 =
-        sphinx_core::runtime::SphinxRuntime::with_recovered_database(grid, config, recovered);
+        sphinx_core::runtime::SphinxRuntime::with_recovered_database(grid, config, recovered)
+            .unwrap();
     let report = if finished_early {
         rt2.build_report()
     } else {

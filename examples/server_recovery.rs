@@ -45,7 +45,7 @@ fn main() {
     // Recover: replay the WAL into a fresh database, rebuild the server.
     println!("replaying {} WAL entries…", wal.len());
     let recovered = Arc::new(Database::recover(Box::new(wal)).expect("log replays cleanly"));
-    let mut rt2 = SphinxRuntime::with_recovered_database(grid, config, recovered);
+    let mut rt2 = SphinxRuntime::with_recovered_database(grid, config, recovered).unwrap();
 
     let report = rt2.run();
     println!(

@@ -76,7 +76,7 @@ proptest! {
         for f in dag.external_inputs() {
             rls.register(f, SiteId(0));
         }
-        server.submit_dag(&dag, UserId(1), SimTime::ZERO);
+        server.submit_dag(&dag, UserId(1), SimTime::ZERO).unwrap();
         let model = TransferModel::default();
 
         let mut now = SimTime::ZERO;
@@ -86,7 +86,7 @@ proptest! {
             now += Duration::from_secs(10);
             match action {
                 Action::Plan => {
-                    let plans = server.plan_cycle(now, &mut rls, &BTreeMap::new(), &model);
+                    let plans = server.plan_cycle(now, &mut rls, &BTreeMap::new(), &model).unwrap();
                     for p in plans {
                         // Register outputs as the grid would on success.
                         in_flight.push((p.job, p.site));
@@ -104,7 +104,7 @@ proptest! {
                             idle: Duration::from_secs(20),
                         },
                         now,
-                    );
+                    ).unwrap();
                     completed.push((job, site));
                 }
                 Action::Cancel { pick, timeout } if !in_flight.is_empty() => {
@@ -120,7 +120,8 @@ proptest! {
                             },
                         },
                         now,
-                    );
+                    )
+                    .unwrap();
                 }
                 Action::DuplicateComplete { pick } if !completed.is_empty() => {
                     let (job, site) = completed[pick % completed.len()];
@@ -133,7 +134,7 @@ proptest! {
                             idle: Duration::ZERO,
                         },
                         now,
-                    );
+                    ).unwrap();
                 }
                 Action::Bogus { index } => {
                     // A report for a job id that may not even exist.
@@ -143,7 +144,7 @@ proptest! {
                             site: SiteId(1),
                         },
                         now,
-                    );
+                    ).unwrap();
                 }
                 _ => {} // pick against an empty pool: no-op
             }
@@ -177,14 +178,14 @@ proptest! {
                     idle: Duration::from_secs(20),
                 },
                 now,
-            );
+            ).unwrap();
         }
         let mut guard = 0;
         while !server.all_finished() {
             guard += 1;
             prop_assert!(guard < 100, "post-storm drive must converge");
             now += Duration::from_secs(10);
-            let plans = server.plan_cycle(now, &mut rls, &BTreeMap::new(), &model);
+            let plans = server.plan_cycle(now, &mut rls, &BTreeMap::new(), &model).unwrap();
             for p in plans {
                 rls.register(dag.jobs[p.job.index as usize].output.file.clone(), p.site);
                 server.handle_report(
@@ -196,7 +197,7 @@ proptest! {
                         idle: Duration::from_secs(20),
                     },
                     now,
-                );
+                ).unwrap();
             }
         }
     }

@@ -78,7 +78,7 @@ fn recovery_with_torn_final_wal_line_still_completes() {
 
     wal.tear_last_line();
     let recovered = Arc::new(Database::recover(Box::new(wal)).expect("torn tail tolerated"));
-    let mut rt2 = SphinxRuntime::with_recovered_database(grid, config, recovered);
+    let mut rt2 = SphinxRuntime::with_recovered_database(grid, config, recovered).unwrap();
     let report = rt2.run();
     assert!(report.finished, "{}", report.summary());
     assert_eq!(report.jobs_completed + report.jobs_eliminated, 20);
@@ -96,12 +96,12 @@ fn double_crash_recovery_still_completes() {
     let grid = rt.into_grid();
 
     let db2 = Arc::new(Database::recover(Box::new(wal.clone())).unwrap());
-    let mut rt2 = SphinxRuntime::with_recovered_database(grid, config.clone(), db2);
+    let mut rt2 = SphinxRuntime::with_recovered_database(grid, config.clone(), db2).unwrap();
     rt2.run_until(SimTime::ZERO + Duration::from_mins(6));
     let grid2 = rt2.into_grid();
 
     let db3 = Arc::new(Database::recover(Box::new(wal)).unwrap());
-    let mut rt3 = SphinxRuntime::with_recovered_database(grid2, config, db3);
+    let mut rt3 = SphinxRuntime::with_recovered_database(grid2, config, db3).unwrap();
     let report = rt3.run();
     assert!(report.finished, "{}", report.summary());
     assert_eq!(report.jobs_completed + report.jobs_eliminated, 20);
@@ -123,7 +123,7 @@ fn checkpoint_compaction_preserves_recoverability() {
     let grid = rt.into_grid();
 
     let recovered = Arc::new(Database::recover(Box::new(wal)).unwrap());
-    let mut rt2 = SphinxRuntime::with_recovered_database(grid, config, recovered);
+    let mut rt2 = SphinxRuntime::with_recovered_database(grid, config, recovered).unwrap();
     let report = rt2.run();
     assert!(report.finished, "{}", report.summary());
 }
@@ -151,7 +151,7 @@ fn reliability_counts_survive_recovery() {
     let grid = rt.into_grid();
 
     let recovered = Arc::new(Database::recover(Box::new(wal)).unwrap());
-    let rt2 = SphinxRuntime::with_recovered_database(grid, config, recovered);
+    let rt2 = SphinxRuntime::with_recovered_database(grid, config, recovered).unwrap();
     assert_eq!(
         rt2.server().reliability().total_cancelled(),
         cancelled_before,
