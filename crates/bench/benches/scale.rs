@@ -1,0 +1,115 @@
+//! Storage hot-path scaling: the planner's by-state query over a large
+//! job table, with and without secondary indexes + the decoded-row cache.
+//!
+//! This is the micro-benchmark twin of `figures -- scale` (which sweeps
+//! whole simulated runs): here only the storage layer is on the bench.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serde::{Deserialize, Serialize};
+use sphinx_db::{Database, DbConfig, MemWal, Record};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Job {
+    id: u64,
+    state: String,
+    site: Option<u32>,
+    attempts: u32,
+}
+
+impl Record for Job {
+    const TABLE: &'static str = "scale_jobs";
+    fn key(&self) -> u64 {
+        self.id
+    }
+}
+
+const STATES: [&str; 5] = ["Unsubmitted", "Ready", "Planned", "Running", "Finished"];
+
+fn populate(db: &Database, rows: u64) {
+    let mut txn = db.txn();
+    for i in 0..rows {
+        txn.put(&Job {
+            id: i,
+            state: STATES[(i % STATES.len() as u64) as usize].to_owned(),
+            site: (i % 7 != 0).then_some((i % 15) as u32),
+            attempts: (i % 3) as u32,
+        })
+        .unwrap();
+    }
+    txn.commit().unwrap();
+}
+
+fn bench_by_state_query(c: &mut Criterion) {
+    let ready = serde_json::to_value("Ready").unwrap();
+    let mut group = c.benchmark_group("scale_by_state_query");
+    group.sample_size(20);
+    for &rows in &[1_000u64, 10_000] {
+        group.throughput(Throughput::Elements(rows));
+
+        let baseline =
+            Database::with_wal_and_config(Box::new(MemWal::shared()), DbConfig::baseline());
+        populate(&baseline, rows);
+        group.bench_with_input(
+            BenchmarkId::new("baseline_full_decode", rows),
+            &baseline,
+            |b, db| {
+                b.iter(|| db.scan_where::<Job>("/state", &ready).unwrap().len());
+            },
+        );
+
+        let indexed = Database::in_memory();
+        indexed.create_index::<Job>("/state");
+        populate(&indexed, rows);
+        group.bench_with_input(
+            BenchmarkId::new("indexed_cached", rows),
+            &indexed,
+            |b, db| {
+                b.iter(|| db.scan_where::<Job>("/state", &ready).unwrap().len());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_recovery_with_auto_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_recovery");
+    group.sample_size(10);
+    for (label, config) in [
+        ("unbounded_log", DbConfig::baseline()),
+        ("auto_checkpointed", DbConfig::default()),
+    ] {
+        // Churn: every row rewritten through the five states, so the raw
+        // log is ~5× the live set unless auto-checkpointing compacts it.
+        let wal = MemWal::shared();
+        {
+            let db = Database::with_wal_and_config(Box::new(wal.clone()), config);
+            for state in STATES {
+                let mut txn = db.txn();
+                for i in 0..2_000u64 {
+                    txn.put(&Job {
+                        id: i,
+                        state: state.to_owned(),
+                        site: Some((i % 15) as u32),
+                        attempts: 1,
+                    })
+                    .unwrap();
+                }
+                txn.commit().unwrap();
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("replay", label), &wal, |b, wal| {
+            b.iter(|| {
+                let db = Database::recover_with_config(Box::new(wal.clone()), config).unwrap();
+                db.replayed()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_by_state_query,
+    bench_recovery_with_auto_checkpoint
+);
+criterion_main!(benches);

@@ -11,7 +11,7 @@
 
 use sphinx_bench::{
     aggregate, jobs_vs_speed_correlation, render_site_table, render_svg_value_bars, render_table,
-    run_trials, write_json, write_svg, Aggregate,
+    run_trials, scale, write_json, write_svg, Aggregate,
 };
 use sphinx_policy::Requirement;
 use sphinx_sim::Duration;
@@ -280,6 +280,29 @@ fn main() {
                     .expect("write chart");
                 write_json(&opts.results_dir, "telemetry", snap).expect("write results");
                 println!("trace written to {}", trace_path.display());
+            }
+            "scale" => {
+                // Storage hot-path sweep: baseline (full-table decode) vs
+                // indexed + cached + auto-checkpointed, 15→120 sites.
+                let sizes: &[scale::SizeSpec] = if opts.quick {
+                    &scale::SIZES[..1]
+                } else {
+                    &scale::SIZES
+                };
+                let points: Vec<scale::SizePoint> = sizes
+                    .iter()
+                    .map(|size| {
+                        eprintln!("[scale] running {} ...", size.label);
+                        scale::run_size(size, seeds(&opts)[0])
+                    })
+                    .collect();
+                print!("{}", scale::render_scale_table(&points));
+                write_json(&opts.results_dir, "scale", &points).expect("write results");
+                // The committed before/after artifact lives at the repo
+                // root so CI can diff it without digging into results/.
+                let json = serde_json::to_string_pretty(&points).expect("scale serialize");
+                std::fs::write("BENCH_scale.json", json).expect("write BENCH_scale.json");
+                println!("scale sweep written to BENCH_scale.json");
             }
             other => eprintln!("unknown experiment id `{other}` (skipped)"),
         }

@@ -10,6 +10,8 @@ use serde::{Deserialize, Serialize};
 use sphinx_workloads::experiments::SeriesPoint;
 use std::path::Path;
 
+pub mod scale;
+
 /// One row of an aggregated comparison table: the across-trial mean of the
 /// metrics the paper's figures plot.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -1,0 +1,281 @@
+//! Scale benchmark: storage hot-path cost as the grid and workload grow.
+//!
+//! Runs the same seeded scenario twice per size — once over a database
+//! with every storage optimisation disabled ([`DbConfig::baseline`]:
+//! full-table decode on every planner query, no decoded-row cache, no
+//! automatic checkpointing) and once with the defaults (secondary
+//! indexes + cache + auto-checkpoint) — and reports, per configuration:
+//!
+//! * planner-cycle latency (the `wall.plan_cycle_us` histogram),
+//! * rows materialized vs. rows actually serde-decoded,
+//! * WAL size (lines and bytes) at the end of the run,
+//! * wall-clock time to replay the log into a recovered database.
+//!
+//! The output is machine-readable (`BENCH_scale.json`) so CI can archive
+//! before/after numbers.
+
+use serde::{Deserialize, Serialize};
+use sphinx_db::{Database, DbConfig, MemWal, Wal};
+use sphinx_grid::SiteSpec;
+use sphinx_workloads::{grid3, Scenario};
+use std::sync::Arc;
+
+/// One grid/workload size of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeSpec {
+    /// Label used in tables and JSON.
+    pub label: &'static str,
+    /// Site count (the Grid3 catalog pattern, cycled).
+    pub sites: u32,
+    /// Number of DAGs submitted.
+    pub dags: u32,
+    /// Jobs per DAG.
+    pub jobs_per_dag: u32,
+}
+
+impl SizeSpec {
+    /// Total job count of this size.
+    pub fn jobs(&self) -> u32 {
+        self.dags * self.jobs_per_dag
+    }
+}
+
+/// The sweep: 15 → 120 sites, 1k → 10k jobs.
+pub const SIZES: [SizeSpec; 4] = [
+    SizeSpec {
+        label: "15-sites-1k-jobs",
+        sites: 15,
+        dags: 20,
+        jobs_per_dag: 50,
+    },
+    SizeSpec {
+        label: "30-sites-2.5k-jobs",
+        sites: 30,
+        dags: 50,
+        jobs_per_dag: 50,
+    },
+    SizeSpec {
+        label: "60-sites-5k-jobs",
+        sites: 60,
+        dags: 100,
+        jobs_per_dag: 50,
+    },
+    SizeSpec {
+        label: "120-sites-10k-jobs",
+        sites: 120,
+        dags: 200,
+        jobs_per_dag: 50,
+    },
+];
+
+/// A catalog of `n` healthy sites: the Grid3 pattern cycled with fresh
+/// ids (and background load off, so the sweep measures storage cost, not
+/// contention noise).
+pub fn scaled_catalog(n: u32) -> Vec<SiteSpec> {
+    let pattern = grid3::catalog_with_background(false);
+    (0..n)
+        .map(|i| {
+            let proto = &pattern[i as usize % pattern.len()];
+            let mut site = proto.clone();
+            site.id = sphinx_data::SiteId(i);
+            if i as usize >= pattern.len() {
+                site.name = format!("{}-{}", proto.name, i as usize / pattern.len());
+            }
+            site
+        })
+        .collect()
+}
+
+/// Metrics from one run of one configuration at one size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigMetrics {
+    /// `"baseline"` (no indexes, no cache, no auto-checkpoint) or
+    /// `"indexed"` (the defaults).
+    pub config: String,
+    /// Jobs the scheduler completed.
+    pub jobs_completed: u64,
+    /// Whether every DAG finished before the horizon.
+    pub finished: bool,
+    /// Wall-clock seconds for the whole simulated run.
+    pub run_secs: f64,
+    /// Planner cycles observed by the latency histogram.
+    pub plan_cycles: u64,
+    /// Mean planner-cycle latency, microseconds.
+    pub plan_cycle_mean_us: f64,
+    /// Worst planner-cycle latency, microseconds.
+    pub plan_cycle_max_us: f64,
+    /// Rows materialized by `get`/`scan*`.
+    pub rows_read: u64,
+    /// Rows that required a serde decode.
+    pub rows_decoded: u64,
+    /// Reads served from the decoded-row cache.
+    pub cache_hits: u64,
+    /// Reads that populated the cache.
+    pub cache_misses: u64,
+    /// Log lines at end of run.
+    pub wal_lines: u64,
+    /// Log bytes at end of run (lines + newlines).
+    pub wal_bytes: u64,
+    /// Checkpoint compactions over the run.
+    pub wal_rewrites: u64,
+    /// Entries replayed when recovering from the final log.
+    pub recovery_replayed: u64,
+    /// Wall-clock microseconds to replay the final log.
+    pub recovery_us: u64,
+}
+
+/// Both configurations at one size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SizePoint {
+    /// Size label.
+    pub label: String,
+    /// Site count.
+    pub sites: u32,
+    /// Total jobs submitted.
+    pub jobs: u32,
+    /// Full-table-decode storage (`DbConfig::baseline()`).
+    pub baseline: ConfigMetrics,
+    /// Indexed + cached + auto-checkpointed storage (the defaults).
+    pub indexed: ConfigMetrics,
+}
+
+fn run_case(size: &SizeSpec, seed: u64, config_label: &str, db_config: DbConfig) -> ConfigMetrics {
+    let scenario = Scenario::builder()
+        .sites(scaled_catalog(size.sites))
+        .dags(size.dags, size.jobs_per_dag)
+        .seed(seed)
+        .wall_clock_telemetry(true)
+        .build();
+    let wal = MemWal::shared();
+    let db = Arc::new(Database::with_wal_and_config(
+        Box::new(wal.clone()),
+        db_config,
+    ));
+    let mut rt = scenario.build_runtime_with_db(Arc::clone(&db));
+    let t0 = std::time::Instant::now(); // sphinx-lint: allow(wall-clock)
+    let report = rt.run();
+    let run_secs = t0.elapsed().as_secs_f64();
+
+    let snapshot = rt.telemetry().snapshot();
+    let plan_hist = snapshot.histograms.get("wall.plan_cycle_us");
+    let stats = db.read_stats();
+    let lines = wal.read_all().expect("in-memory log reads");
+    let wal_bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
+
+    let t1 = std::time::Instant::now(); // sphinx-lint: allow(wall-clock)
+    let recovered =
+        Database::recover_with_config(Box::new(wal.clone()), db_config).expect("log replays");
+    let recovery_us = t1.elapsed().as_micros() as u64;
+
+    ConfigMetrics {
+        config: config_label.to_owned(),
+        jobs_completed: report.jobs_completed as u64,
+        finished: report.finished,
+        run_secs,
+        plan_cycles: plan_hist.map_or(0, |h| h.count),
+        plan_cycle_mean_us: plan_hist.map_or(0.0, |h| h.mean()),
+        plan_cycle_max_us: plan_hist.map_or(0.0, |h| h.max),
+        rows_read: stats.rows_read,
+        rows_decoded: stats.rows_decoded,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        wal_lines: lines.len() as u64,
+        wal_bytes,
+        wal_rewrites: snapshot.counters.get("wal.rewrites").copied().unwrap_or(0),
+        recovery_replayed: recovered.replayed(),
+        recovery_us,
+    }
+}
+
+/// Run one size with both storage configurations.
+pub fn run_size(size: &SizeSpec, seed: u64) -> SizePoint {
+    let baseline = run_case(size, seed, "baseline", DbConfig::baseline());
+    let indexed = run_case(size, seed, "indexed", DbConfig::default());
+    SizePoint {
+        label: size.label.to_owned(),
+        sites: size.sites,
+        jobs: size.jobs(),
+        baseline,
+        indexed,
+    }
+}
+
+/// Render the sweep as a comparison table.
+pub fn render_scale_table(points: &[SizePoint]) -> String {
+    let mut out = String::new();
+    out.push_str("\n== scale — storage hot path, baseline vs indexed\n");
+    out.push_str(&format!(
+        "{:<22} {:<9} {:>11} {:>11} {:>13} {:>13} {:>10} {:>12}\n",
+        "size",
+        "config",
+        "cycle (us)",
+        "max (us)",
+        "rows read",
+        "decoded",
+        "wal lines",
+        "replay (us)"
+    ));
+    for p in points {
+        for m in [&p.baseline, &p.indexed] {
+            out.push_str(&format!(
+                "{:<22} {:<9} {:>11.1} {:>11.0} {:>13} {:>13} {:>10} {:>12}\n",
+                p.label,
+                m.config,
+                m.plan_cycle_mean_us,
+                m.plan_cycle_max_us,
+                m.rows_read,
+                m.rows_decoded,
+                m.wal_lines,
+                m.recovery_us,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_catalog_has_unique_ids_and_pattern_shapes() {
+        let sites = scaled_catalog(37);
+        assert_eq!(sites.len(), 37);
+        let pattern = grid3::catalog_with_background(false);
+        for (i, site) in sites.iter().enumerate() {
+            assert_eq!(site.id.0 as usize, i);
+            let proto = &pattern[i % pattern.len()];
+            assert_eq!(site.cpus, proto.cpus);
+            assert_eq!(site.cpu_speed, proto.cpu_speed);
+        }
+        let mut names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 37, "names must stay unique");
+    }
+
+    #[test]
+    fn tiny_sweep_point_runs_both_configs_to_the_same_outcome() {
+        let size = SizeSpec {
+            label: "tiny",
+            sites: 4,
+            dags: 2,
+            jobs_per_dag: 8,
+        };
+        let point = run_size(&size, 3);
+        assert!(point.baseline.finished && point.indexed.finished);
+        assert_eq!(
+            point.baseline.jobs_completed, point.indexed.jobs_completed,
+            "storage configuration must not change the schedule"
+        );
+        assert!(
+            point.indexed.rows_decoded < point.baseline.rows_decoded,
+            "indexes + cache must decode fewer rows ({} vs {})",
+            point.indexed.rows_decoded,
+            point.baseline.rows_decoded
+        );
+        assert!(point.indexed.cache_hits > 0);
+        let table = render_scale_table(&[point]);
+        assert!(table.contains("tiny"));
+    }
+}

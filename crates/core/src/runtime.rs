@@ -22,7 +22,7 @@ use crate::error::CoreResult;
 use crate::messages::{PlanNotice, StatusReport, INBOX, OUTBOX};
 use crate::report::{RunReport, SiteOutcome};
 use crate::server::{ServerConfig, SphinxServer};
-use crate::state::{DagRow, JobRow, JobState, SiteStatsRow};
+use crate::state::{DagRow, JobRow, SiteStatsRow};
 use crate::strategy::{SiteInfo, StrategyKind};
 use sphinx_dag::Dag;
 use sphinx_data::{SiteId, TransferModel};
@@ -386,7 +386,7 @@ impl SphinxRuntime {
     /// report. A database failure surfaces as a typed error.
     pub fn try_run(&mut self) -> CoreResult<RunReport> {
         self.drive(SimTime::MAX)?;
-        Ok(self.build_report())
+        self.build_report()
     }
 
     /// Like [`Self::try_run`], panicking on database failure (the
@@ -396,8 +396,12 @@ impl SphinxRuntime {
     }
 
     /// Assemble the [`RunReport`] from the database and module state.
-    pub fn build_report(&self) -> RunReport {
-        let dags = self.db.scan::<DagRow>();
+    ///
+    /// Job tallies come from the `/state` secondary index (registered by
+    /// the server), so report assembly reads the finished/eliminated rows
+    /// rather than decoding the whole job table.
+    pub fn build_report(&self) -> CoreResult<RunReport> {
+        let dags = self.db.scan::<DagRow>()?;
         let mut dag_completion_secs = Vec::new();
         let mut deadlines_met = 0usize;
         let mut deadlines_missed = 0usize;
@@ -417,22 +421,20 @@ impl SphinxRuntime {
         } else {
             dag_completion_secs.iter().sum::<f64>() / dag_completion_secs.len() as f64
         };
-        let jobs = self.db.scan::<JobRow>();
+        let finished = self
+            .db
+            .scan_where::<JobRow>("/state", &serde_json::json!("Finished"))?;
         let mut exec_sum = 0.0;
         let mut idle_sum = 0.0;
-        let mut completed = 0usize;
-        let mut eliminated = 0usize;
-        for j in &jobs {
-            match j.state {
-                JobState::Finished => {
-                    completed += 1;
-                    exec_sum += j.exec_secs.unwrap_or(0.0);
-                    idle_sum += j.idle_secs.unwrap_or(0.0);
-                }
-                JobState::Eliminated => eliminated += 1,
-                _ => {}
-            }
+        let completed = finished.len();
+        for j in &finished {
+            exec_sum += j.exec_secs.unwrap_or(0.0);
+            idle_sum += j.idle_secs.unwrap_or(0.0);
         }
+        let eliminated = self
+            .db
+            .scan_where::<JobRow>("/state", &serde_json::json!("Eliminated"))?
+            .len();
         let catalog: BTreeMap<SiteId, String> = self
             .grid
             .site_specs()
@@ -441,7 +443,7 @@ impl SphinxRuntime {
             .collect();
         let sites = self
             .db
-            .scan::<SiteStatsRow>()
+            .scan::<SiteStatsRow>()?
             .into_iter()
             .map(|row| SiteOutcome {
                 site: SiteId(row.site),
@@ -456,7 +458,7 @@ impl SphinxRuntime {
             })
             .collect();
         let stats = self.server.stats();
-        RunReport {
+        Ok(RunReport {
             strategy: self.config.strategy.label().to_owned(),
             feedback: self.config.feedback || self.config.strategy.implies_feedback(),
             policy: self.config.policy_enabled,
@@ -485,7 +487,7 @@ impl SphinxRuntime {
             deadlines_missed,
             sites,
             telemetry: self.server.telemetry_snapshot(),
-        }
+        })
     }
 }
 

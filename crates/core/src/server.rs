@@ -101,13 +101,22 @@ pub struct SphinxServer {
     last_plan_at: Option<SimTime>,
 }
 
+/// The JSON value a [`DagId`] takes at the `/id/dag` pointer of a `JobRow`
+/// (a bare number — `DagId` is a serde newtype), i.e. the lookup key for
+/// the "all jobs of this DAG" secondary index.
+fn dag_key(id: DagId) -> CoreResult<serde_json::Value> {
+    serde_json::to_value(id).map_err(|_| CoreError::Invariant("dag id must serialize"))
+}
+
 impl SphinxServer {
     /// A fresh server over an (empty) database.
     pub fn new(db: Arc<Database>, catalog: Vec<SiteInfo>, config: ServerConfig) -> Self {
-        // The control process finds entities by state; index both tables
-        // the way the original's SQL schema would have.
+        // The control process finds entities by state (and a DAG's jobs by
+        // owner); index the tables the way the original's SQL schema would
+        // have.
         db.create_index::<DagRow>("/state");
         db.create_index::<JobRow>("/state");
+        db.create_index::<JobRow>("/id/dag");
         SphinxServer {
             db,
             config,
@@ -177,7 +186,7 @@ impl SphinxServer {
     ) -> CoreResult<Self> {
         let mut server = SphinxServer::new(db, catalog, config);
         // Restore tracker-derived statistics.
-        for row in server.db.scan::<SiteStatsRow>() {
+        for row in server.db.scan::<SiteStatsRow>()? {
             let site = SiteId(row.site);
             server
                 .reliability
@@ -187,14 +196,17 @@ impl SphinxServer {
                 .restore(site, row.completion_secs_sum, row.completion_samples);
         }
         // Reset in-flight jobs and rebuild frontiers.
-        for dag_row in server.db.scan::<DagRow>() {
+        for dag_row in server.db.scan::<DagRow>()? {
             server.dags_total += 1;
             if dag_row.state == DagState::Finished {
                 server.dags_finished += 1;
                 continue;
             }
             let mut completed = Vec::new();
-            for job in server.db.scan_filter::<JobRow>(|j| j.id.dag == dag_row.id) {
+            for job in server
+                .db
+                .scan_where::<JobRow>("/id/dag", &dag_key(dag_row.id)?)?
+            {
                 match job.state {
                     s if s.is_terminal() => completed.push(job.id.index),
                     s if s.is_outstanding() => {
@@ -505,7 +517,7 @@ impl SphinxServer {
     fn reduce_received(&mut self, rls: &mut ReplicaService, now: SimTime) -> CoreResult<()> {
         let received = self
             .db
-            .scan_where::<DagRow>("/state", &serde_json::json!("Received"));
+            .scan_where::<DagRow>("/state", &serde_json::json!("Received"))?;
         for dag_row in received {
             let outputs: Vec<LogicalFile> = dag_row
                 .dag

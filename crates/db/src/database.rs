@@ -8,6 +8,7 @@ use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use sphinx_telemetry::Telemetry;
+use std::any::Any;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -29,7 +30,105 @@ pub struct TableStats {
     pub rows: usize,
 }
 
+/// When the commit path compacts the log automatically.
+///
+/// The trigger is purely a function of committed state — log length vs.
+/// live rows — never the wall clock, so two runs with the same seed
+/// checkpoint at exactly the same commits and recovery traces stay
+/// byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Master switch; `false` restores explicit-only checkpointing.
+    pub enabled: bool,
+    /// Compact once `log_lines > ratio × live_rows` (live rows floored at
+    /// 1 so a fully-deleted database still compacts).
+    pub ratio: u64,
+    /// Never compact before the log has this many lines — keeps tiny
+    /// databases from churning through rewrites.
+    pub min_log_lines: u64,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            enabled: true,
+            ratio: 4,
+            min_log_lines: 1024,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// Explicit-only checkpointing (the pre-policy behaviour).
+    pub fn disabled() -> Self {
+        CheckpointPolicy {
+            enabled: false,
+            ..CheckpointPolicy::default()
+        }
+    }
+}
+
+/// Tunables for the storage hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbConfig {
+    /// Keep decoded rows cached so a row is deserialized once per
+    /// mutation, not once per read.
+    pub cache: bool,
+    /// Honor registered secondary indexes in [`Database::scan_where`]
+    /// (`false` also makes [`Database::create_index`] a no-op).
+    pub indexes: bool,
+    /// Automatic log compaction.
+    pub checkpoint: CheckpointPolicy,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            cache: true,
+            indexes: true,
+            checkpoint: CheckpointPolicy::default(),
+        }
+    }
+}
+
+impl DbConfig {
+    /// Everything off: full-table decode scans, no cache, explicit-only
+    /// checkpoints. The scale benchmark's "before" configuration.
+    pub fn baseline() -> Self {
+        DbConfig {
+            cache: false,
+            indexes: false,
+            checkpoint: CheckpointPolicy::disabled(),
+        }
+    }
+}
+
+/// Read-path counters (see also `db.*` telemetry counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Rows materialized by `get`/`scan*` calls.
+    pub rows_read: u64,
+    /// Rows that required a serde decode (cache misses + uncached reads).
+    pub rows_decoded: u64,
+    /// Reads served from the decoded-row cache.
+    pub cache_hits: u64,
+    /// Reads that populated the cache.
+    pub cache_misses: u64,
+}
+
 pub(crate) type Tables = BTreeMap<String, BTreeMap<u64, serde_json::Value>>;
+
+/// Decoded rows, keyed by table then primary key. Entries are erased to
+/// `Any`; the typed read path downcasts back to `R`.
+type RowCache = BTreeMap<&'static str, BTreeMap<u64, Box<dyn Any + Send>>>;
+
+/// A decoded row handed to the commit path so the cache can be primed
+/// without ever re-deserializing what the caller just serialized.
+pub(crate) struct Primed {
+    pub(crate) table: &'static str,
+    pub(crate) key: u64,
+    pub(crate) row: Box<dyn Any + Send>,
+}
 
 /// A database: named tables + write-ahead log.
 ///
@@ -39,9 +138,20 @@ pub struct Database {
     pub(crate) tables: Mutex<Tables>,
     pub(crate) wal: Mutex<Box<dyn Wal>>,
     indexes: Mutex<Indexes>,
+    cache: Mutex<RowCache>,
+    config: DbConfig,
     commits: AtomicU64,
+    /// Lines currently in the log (replayed + appended − compacted away).
+    log_lines: AtomicU64,
     /// Log lines replayed by `recover` (0 for a fresh database).
     replayed: u64,
+    /// Rows that failed to decode on the `Option`-returning read path
+    /// (`get`); scans surface the same failures as [`DbError::Codec`].
+    decode_failures: AtomicU64,
+    rows_read: AtomicU64,
+    rows_decoded: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
     telemetry: Mutex<Option<Arc<Telemetry>>>,
 }
 
@@ -68,16 +178,36 @@ fn decode<R: Record>(value: &serde_json::Value) -> Result<R, DbError> {
     })
 }
 
+fn encode_entry(entry: &LogEntry) -> Result<String, DbError> {
+    serde_json::to_string(entry).map_err(|e| DbError::Codec {
+        table: "<wal>".to_owned(),
+        message: e.to_string(),
+    })
+}
+
 impl Database {
     /// A database backed by the given (possibly pre-existing, here empty)
-    /// write-ahead log.
+    /// write-ahead log, with the default [`DbConfig`].
     pub fn with_wal(wal: Box<dyn Wal>) -> Self {
+        Self::with_wal_and_config(wal, DbConfig::default())
+    }
+
+    /// A database over an empty log with explicit hot-path tunables.
+    pub fn with_wal_and_config(wal: Box<dyn Wal>, config: DbConfig) -> Self {
         Database {
             tables: Mutex::new(BTreeMap::new()),
             wal: Mutex::new(wal),
             indexes: Mutex::new(Indexes::default()),
+            cache: Mutex::new(BTreeMap::new()),
+            config,
             commits: AtomicU64::new(0),
+            log_lines: AtomicU64::new(0),
             replayed: 0,
+            decode_failures: AtomicU64::new(0),
+            rows_read: AtomicU64::new(0),
+            rows_decoded: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
             telemetry: Mutex::new(None),
         }
     }
@@ -88,13 +218,19 @@ impl Database {
         Database::with_wal(Box::new(crate::wal::MemWal::shared()))
     }
 
-    /// Rebuild the committed state from an existing log.
+    /// Rebuild the committed state from an existing log, with the default
+    /// [`DbConfig`].
     ///
     /// A torn *final* line is treated as an interrupted commit: it is
     /// dropped AND truncated out of the log (otherwise the next append
     /// would merge with the torn bytes and corrupt a later recovery). A
     /// malformed line anywhere else is corruption and fails recovery.
-    pub fn recover(mut wal: Box<dyn Wal>) -> Result<Self, DbError> {
+    pub fn recover(wal: Box<dyn Wal>) -> Result<Self, DbError> {
+        Self::recover_with_config(wal, DbConfig::default())
+    }
+
+    /// [`Database::recover`] with explicit hot-path tunables.
+    pub fn recover_with_config(mut wal: Box<dyn Wal>, config: DbConfig) -> Result<Self, DbError> {
         let lines = wal.read_all()?;
         let mut tables: Tables = BTreeMap::new();
         let last = lines.len().saturating_sub(1);
@@ -124,10 +260,23 @@ impl Database {
             tables: Mutex::new(tables),
             wal: Mutex::new(wal),
             indexes: Mutex::new(Indexes::default()),
+            cache: Mutex::new(BTreeMap::new()),
+            config,
             commits: AtomicU64::new(0),
+            log_lines: AtomicU64::new(valid as u64),
             replayed: valid as u64,
+            decode_failures: AtomicU64::new(0),
+            rows_read: AtomicU64::new(0),
+            rows_decoded: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
             telemetry: Mutex::new(None),
         })
+    }
+
+    /// The hot-path tunables this database was built with.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
     }
 
     /// Log lines replayed when this database was built by [`Database::recover`].
@@ -135,14 +284,62 @@ impl Database {
         self.replayed
     }
 
+    /// Lines currently in the write-ahead log.
+    pub fn log_lines(&self) -> u64 {
+        self.log_lines.load(Ordering::Relaxed)
+    }
+
+    /// Live rows across every table.
+    pub fn live_rows(&self) -> u64 {
+        self.tables.lock().values().map(|t| t.len() as u64).sum()
+    }
+
+    /// Rows that failed to decode on the `Option`-returning read path.
+    pub fn decode_failures(&self) -> u64 {
+        self.decode_failures.load(Ordering::Relaxed)
+    }
+
+    /// Read-path counters accumulated since construction.
+    pub fn read_stats(&self) -> ReadStats {
+        ReadStats {
+            rows_read: self.rows_read.load(Ordering::Relaxed),
+            rows_decoded: self.rows_decoded.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
     /// Attach a telemetry hub. Replay work already done by `recover` is
     /// credited immediately (recovery runs before any hub exists); every
-    /// later commit and checkpoint bumps `wal.appends` / `wal.rewrites`.
+    /// later commit and checkpoint bumps `wal.appends` / `wal.rewrites`,
+    /// and every read bumps the `db.*` counters.
     pub fn attach_telemetry(&self, telemetry: Arc<Telemetry>) {
         if self.replayed > 0 {
             telemetry.counter_add("wal.replays", self.replayed);
         }
         *self.telemetry.lock() = Some(telemetry);
+    }
+
+    /// Credit one batch of reads to the local counters and the telemetry
+    /// hub (one lock per call, not per row).
+    fn note_reads(&self, hits: u64, decoded: u64) {
+        if hits == 0 && decoded == 0 {
+            return;
+        }
+        self.rows_read.fetch_add(hits + decoded, Ordering::Relaxed);
+        self.rows_decoded.fetch_add(decoded, Ordering::Relaxed);
+        if self.config.cache {
+            self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+            self.cache_misses.fetch_add(decoded, Ordering::Relaxed);
+        }
+        if let Some(t) = self.telemetry.lock().as_ref() {
+            t.counter_add("db.rows.read", hits + decoded);
+            t.counter_add("db.rows.decoded", decoded);
+            if self.config.cache {
+                t.counter_add("db.cache.hits", hits);
+                t.counter_add("db.cache.misses", decoded);
+            }
+        }
     }
 
     /// Begin a multi-table atomic transaction.
@@ -151,37 +348,80 @@ impl Database {
     }
 
     pub(crate) fn commit_ops(&self, ops: Vec<Op>) -> Result<(), DbError> {
+        self.commit_ops_primed(ops, Vec::new())
+    }
+
+    /// Commit `ops` as one WAL line; `primed` carries already-decoded rows
+    /// for the touched keys so the cache can be refreshed for free.
+    pub(crate) fn commit_ops_primed(
+        &self,
+        ops: Vec<Op>,
+        primed: Vec<Primed>,
+    ) -> Result<(), DbError> {
         if ops.is_empty() {
             return Ok(());
         }
         let entry = LogEntry::Txn { ops };
-        let line = serde_json::to_string(&entry).expect("log entry serializes");
+        let line = encode_entry(&entry)?;
         // WAL first, then tables: the log is the source of truth.
         self.wal.lock().append(&line)?;
+        self.log_lines.fetch_add(1, Ordering::Relaxed);
         if let Some(t) = self.telemetry.lock().as_ref() {
             t.counter_add("wal.appends", 1);
         }
-        let mut tables = self.tables.lock();
-        let mut indexes = self.indexes.lock();
-        if let LogEntry::Txn { ops } = entry {
-            for op in ops {
-                match op {
-                    Op::Put { table, key, row } => {
-                        let t = tables.entry(table.clone()).or_default();
-                        let old = t.get(&key).cloned();
-                        indexes.on_put(&table, key, old.as_ref(), &row);
-                        t.insert(key, row);
-                    }
-                    Op::Del { table, key } => {
-                        if let Some(t) = tables.get_mut(&table) {
-                            let old = t.remove(&key);
-                            indexes.on_delete(&table, key, old.as_ref());
+        {
+            let mut tables = self.tables.lock();
+            let mut indexes = self.indexes.lock();
+            let mut cache = self.cache.lock();
+            if let LogEntry::Txn { ops } = entry {
+                for op in ops {
+                    match op {
+                        Op::Put { table, key, row } => {
+                            let t = tables.entry(table.clone()).or_default();
+                            let old = t.get(&key).cloned();
+                            indexes.on_put(&table, key, old.as_ref(), &row);
+                            // The cached decode (if any) is now stale.
+                            if let Some(tc) = cache.get_mut(table.as_str()) {
+                                tc.remove(&key);
+                            }
+                            t.insert(key, row);
+                        }
+                        Op::Del { table, key } => {
+                            if let Some(t) = tables.get_mut(&table) {
+                                let old = t.remove(&key);
+                                indexes.on_delete(&table, key, old.as_ref());
+                            }
+                            if let Some(tc) = cache.get_mut(table.as_str()) {
+                                tc.remove(&key);
+                            }
                         }
                     }
                 }
             }
+            if self.config.cache {
+                for p in primed {
+                    cache.entry(p.table).or_default().insert(p.key, p.row);
+                }
+            }
         }
         self.commits.fetch_add(1, Ordering::Relaxed);
+        self.maybe_checkpoint()
+    }
+
+    /// Apply the [`CheckpointPolicy`] after a commit. Deterministic: the
+    /// decision depends only on log length and live-row count.
+    fn maybe_checkpoint(&self) -> Result<(), DbError> {
+        let policy = self.config.checkpoint;
+        if !policy.enabled {
+            return Ok(());
+        }
+        let log = self.log_lines.load(Ordering::Relaxed);
+        if log < policy.min_log_lines {
+            return Ok(());
+        }
+        if log > policy.ratio.saturating_mul(self.live_rows().max(1)) {
+            self.checkpoint()?;
+        }
         Ok(())
     }
 
@@ -199,18 +439,62 @@ impl Database {
     /// Insert or overwrite a row.
     pub fn put<R: Record>(&self, row: &R) -> Result<(), DbError> {
         let value = encode(row)?;
-        self.commit_ops(vec![Op::Put {
+        let op = Op::Put {
             table: R::TABLE.to_owned(),
             key: row.key(),
             row: value,
-        }])
+        };
+        let primed = if self.config.cache {
+            vec![Primed {
+                table: R::TABLE,
+                key: row.key(),
+                row: Box::new(row.clone()),
+            }]
+        } else {
+            Vec::new()
+        };
+        self.commit_ops_primed(vec![op], primed)
     }
 
-    /// Fetch a row by key.
+    /// Fetch a row by key. A row that exists but fails to decode reads as
+    /// `None` and bumps [`Database::decode_failures`] — use the
+    /// `Result`-returning scans where corruption must be surfaced.
     pub fn get<R: Record>(&self, key: u64) -> Option<R> {
         let tables = self.tables.lock();
         let value = tables.get(R::TABLE)?.get(&key)?;
-        decode(value).ok()
+        if self.config.cache {
+            let mut cache = self.cache.lock();
+            let tc = cache.entry(R::TABLE).or_default();
+            if let Some(row) = tc.get(&key).and_then(|b| b.downcast_ref::<R>()) {
+                let row = row.clone();
+                drop(cache);
+                self.note_reads(1, 0);
+                return Some(row);
+            }
+            match decode::<R>(value) {
+                Ok(row) => {
+                    tc.insert(key, Box::new(row.clone()));
+                    drop(cache);
+                    self.note_reads(0, 1);
+                    Some(row)
+                }
+                Err(_) => {
+                    self.decode_failures.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+        } else {
+            match decode::<R>(value) {
+                Ok(row) => {
+                    self.note_reads(0, 1);
+                    Some(row)
+                }
+                Err(_) => {
+                    self.decode_failures.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+        }
     }
 
     /// True if the key exists.
@@ -245,20 +529,61 @@ impl Database {
         Ok(true)
     }
 
+    /// Decode every `(key, value)` pair, in order, through the row cache
+    /// when it is enabled. The first undecodable row aborts with
+    /// [`DbError::Codec`] — silent row loss is exactly what the fallible
+    /// scans exist to prevent.
+    fn materialize<'v, R: Record>(
+        &self,
+        rows: impl Iterator<Item = (u64, &'v serde_json::Value)>,
+    ) -> Result<Vec<R>, DbError> {
+        let mut out = Vec::new();
+        let mut hits = 0u64;
+        let mut decoded = 0u64;
+        let result = (|| {
+            if self.config.cache {
+                let mut cache = self.cache.lock();
+                let tc = cache.entry(R::TABLE).or_default();
+                for (key, value) in rows {
+                    if let Some(row) = tc.get(&key).and_then(|b| b.downcast_ref::<R>()) {
+                        hits += 1;
+                        out.push(row.clone());
+                        continue;
+                    }
+                    let row: R = decode(value)?;
+                    decoded += 1;
+                    tc.insert(key, Box::new(row.clone()));
+                    out.push(row);
+                }
+            } else {
+                for (_, value) in rows {
+                    out.push(decode(value)?);
+                    decoded += 1;
+                }
+            }
+            Ok(())
+        })();
+        self.note_reads(hits, decoded);
+        result.map(|()| out)
+    }
+
     /// All rows of a table, in key order.
-    pub fn scan<R: Record>(&self) -> Vec<R> {
+    pub fn scan<R: Record>(&self) -> Result<Vec<R>, DbError> {
         let tables = self.tables.lock();
-        tables
-            .get(R::TABLE)
-            .map(|t| t.values().filter_map(|v| decode(v).ok()).collect())
-            .unwrap_or_default()
+        let Some(t) = tables.get(R::TABLE) else {
+            return Ok(Vec::new());
+        };
+        self.materialize(t.iter().map(|(&k, v)| (k, v)))
     }
 
     /// Rows matching a predicate, in key order.
-    pub fn scan_filter<R: Record>(&self, mut pred: impl FnMut(&R) -> bool) -> Vec<R> {
-        let mut rows = self.scan::<R>();
+    pub fn scan_filter<R: Record>(
+        &self,
+        mut pred: impl FnMut(&R) -> bool,
+    ) -> Result<Vec<R>, DbError> {
+        let mut rows = self.scan::<R>()?;
         rows.retain(|r| pred(r));
-        rows
+        Ok(rows)
     }
 
     /// Number of rows in a table.
@@ -293,8 +618,12 @@ impl Database {
 
     /// Register a secondary index over `pointer` (a JSON pointer, e.g.
     /// `"/state"`) into `R`'s table, built from the current contents and
-    /// maintained on every subsequent commit.
+    /// maintained on every subsequent commit. A no-op when
+    /// [`DbConfig::indexes`] is off (the benchmark baseline).
     pub fn create_index<R: Record>(&self, pointer: &str) {
+        if !self.config.indexes {
+            return;
+        }
         let tables = self.tables.lock();
         self.indexes.lock().create(R::TABLE, pointer, &tables);
     }
@@ -302,35 +631,36 @@ impl Database {
     /// Rows whose value at `pointer` equals `value`. Uses the secondary
     /// index when one is registered; otherwise falls back to a filtered
     /// table scan (same result, O(table) instead of O(result)).
-    pub fn scan_where<R: Record>(&self, pointer: &str, value: &serde_json::Value) -> Vec<R> {
+    pub fn scan_where<R: Record>(
+        &self,
+        pointer: &str,
+        value: &serde_json::Value,
+    ) -> Result<Vec<R>, DbError> {
         let tables = self.tables.lock();
         let indexes = self.indexes.lock();
-        if indexes.exists(R::TABLE, pointer) {
+        if self.config.indexes && indexes.exists(R::TABLE, pointer) {
             let keys = indexes.lookup(R::TABLE, pointer, value).unwrap_or_default();
             let Some(t) = tables.get(R::TABLE) else {
-                return Vec::new();
+                return Ok(Vec::new());
             };
-            return keys
-                .into_iter()
-                .filter_map(|k| t.get(&k).and_then(|v| decode(v).ok()))
-                .collect();
+            return self.materialize(keys.into_iter().filter_map(|k| t.get(&k).map(|v| (k, v))));
         }
-        tables
-            .get(R::TABLE)
-            .map(|t| {
-                t.values()
-                    .filter(|v| v.pointer(pointer).unwrap_or(&serde_json::Value::Null) == value)
-                    .filter_map(|v| decode(v).ok())
-                    .collect()
-            })
-            .unwrap_or_default()
+        let Some(t) = tables.get(R::TABLE) else {
+            return Ok(Vec::new());
+        };
+        self.materialize(
+            t.iter()
+                .filter(|(_, v)| v.pointer(pointer).unwrap_or(&serde_json::Value::Null) == value)
+                .map(|(&k, v)| (k, v)),
+        )
     }
 
     /// Compact the log to one snapshot entry describing the current state.
     pub fn checkpoint(&self) -> Result<(), DbError> {
         let entry = LogEntry::snapshot_of(&self.tables.lock());
-        let line = serde_json::to_string(&entry).expect("snapshot serializes");
+        let line = encode_entry(&entry)?;
         self.wal.lock().rewrite(&[line])?;
+        self.log_lines.store(1, Ordering::Relaxed);
         if let Some(t) = self.telemetry.lock().as_ref() {
             t.counter_add("wal.rewrites", 1);
         }
@@ -339,17 +669,20 @@ impl Database {
 
     // ---- raw (string-table) access, used by `Queue` ----
 
-    pub(crate) fn raw_put(
+    /// Commit several raw puts atomically (one WAL line).
+    pub(crate) fn raw_put_many(
         &self,
-        table: &str,
-        key: u64,
-        row: serde_json::Value,
+        puts: Vec<(String, u64, serde_json::Value)>,
     ) -> Result<(), DbError> {
-        self.commit_ops(vec![Op::Put {
-            table: table.to_owned(),
-            key,
-            row,
-        }])
+        let ops = puts
+            .into_iter()
+            .map(|(table, key, row)| Op::Put { table, key, row })
+            .collect();
+        self.commit_ops(ops)
+    }
+
+    pub(crate) fn raw_get(&self, table: &str, key: u64) -> Option<serde_json::Value> {
+        self.tables.lock().get(table)?.get(&key).cloned()
     }
 
     pub(crate) fn raw_min_entry(&self, table: &str) -> Option<(u64, serde_json::Value)> {
@@ -458,11 +791,106 @@ mod tests {
         for id in [3u64, 1, 2] {
             db.insert(&item(id, "r", id as u32 * 10)).unwrap();
         }
-        let all = db.scan::<Item>();
+        let all = db.scan::<Item>().unwrap();
         assert_eq!(all.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3]);
-        let heavy = db.scan_filter::<Item>(|r| r.weight >= 20);
+        let heavy = db.scan_filter::<Item>(|r| r.weight >= 20).unwrap();
         assert_eq!(heavy.len(), 2);
         assert_eq!(db.max_key::<Item>(), Some(3));
+    }
+
+    #[test]
+    fn cache_serves_repeat_reads_without_decoding() {
+        let db = Database::in_memory();
+        db.insert(&item(1, "hot", 1)).unwrap();
+        // The put primed the cache: every read below is a hit.
+        for _ in 0..3 {
+            assert_eq!(db.get::<Item>(1).unwrap().label, "hot");
+        }
+        let stats = db.read_stats();
+        assert_eq!(stats.cache_hits, 3);
+        assert_eq!(stats.rows_decoded, 0, "put-primed row never re-decoded");
+        // A mutation invalidates, and the new value is primed in turn.
+        db.update::<Item>(1, |r| r.label = "hotter".into()).unwrap();
+        assert_eq!(db.get::<Item>(1).unwrap().label, "hotter");
+        assert_eq!(db.read_stats().rows_decoded, 0);
+    }
+
+    #[test]
+    fn cache_miss_decodes_once_then_hits() {
+        let wal = MemWal::shared();
+        {
+            let db = Database::with_wal(Box::new(wal.clone()));
+            db.insert(&item(7, "persisted", 1)).unwrap();
+        }
+        // A recovered database has a cold cache: first read decodes,
+        // second is served from the cache.
+        let db = Database::recover(Box::new(wal)).unwrap();
+        assert!(db.get::<Item>(7).is_some());
+        assert!(db.get::<Item>(7).is_some());
+        let stats = db.read_stats();
+        assert_eq!(stats.rows_decoded, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.rows_read, 2);
+    }
+
+    #[test]
+    fn cache_disabled_decodes_every_read() {
+        let db = Database::with_wal_and_config(
+            Box::new(MemWal::shared()),
+            DbConfig {
+                cache: false,
+                ..DbConfig::default()
+            },
+        );
+        db.insert(&item(1, "cold", 1)).unwrap();
+        db.get::<Item>(1).unwrap();
+        db.get::<Item>(1).unwrap();
+        let stats = db.read_stats();
+        assert_eq!(stats.rows_decoded, 2);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn scan_surfaces_undecodable_rows_as_codec_errors() {
+        let db = Database::in_memory();
+        db.insert(&item(1, "fine", 1)).unwrap();
+        // A row whose shape does not match `Item` (e.g. written by a
+        // buggy or newer version) must not silently vanish from scans.
+        db.raw_put_many(vec![(
+            "items".to_owned(),
+            2,
+            serde_json::from_str(r#"{"wrong":"shape"}"#).unwrap(),
+        )])
+        .unwrap();
+        let err = db.scan::<Item>().unwrap_err();
+        assert!(matches!(err, DbError::Codec { .. }), "{err}");
+        let err = db.scan_filter::<Item>(|r| r.weight > 0).unwrap_err();
+        assert!(
+            matches!(err, DbError::Codec { .. }),
+            "filtered scan surfaces too: {err}"
+        );
+        // The Option-returning read maps to None but counts the failure.
+        assert!(db.get::<Item>(2).is_none());
+        assert_eq!(db.decode_failures(), 1);
+        assert_eq!(db.get::<Item>(1).unwrap().label, "fine");
+    }
+
+    #[test]
+    fn indexed_scan_where_surfaces_undecodable_rows() {
+        let db = Database::in_memory();
+        db.create_index::<Item>("/label");
+        db.insert(&item(1, "x", 1)).unwrap();
+        db.raw_put_many(vec![(
+            "items".to_owned(),
+            2,
+            serde_json::from_str(r#"{"label":"x"}"#).unwrap(),
+        )])
+        .unwrap();
+        let err = db
+            .scan_where::<Item>("/label", &serde_json::json!("x"))
+            .unwrap_err();
+        assert!(matches!(err, DbError::Codec { .. }), "{err}");
     }
 
     #[test]
@@ -525,6 +953,7 @@ mod tests {
         assert!(wal.len() > 50);
         db.checkpoint().unwrap();
         assert_eq!(wal.len(), 1);
+        assert_eq!(db.log_lines(), 1);
         let recovered = Database::recover(Box::new(wal)).unwrap();
         assert_eq!(recovered.count::<Item>(), 25);
         assert_eq!(recovered.get::<Item>(30).unwrap().weight, 30);
@@ -539,6 +968,88 @@ mod tests {
         db.insert(&item(2, "post", 0)).unwrap();
         let recovered = Database::recover(Box::new(wal)).unwrap();
         assert_eq!(recovered.count::<Item>(), 2);
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_on_log_to_live_ratio() {
+        let wal = MemWal::shared();
+        let policy = CheckpointPolicy {
+            enabled: true,
+            ratio: 4,
+            min_log_lines: 16,
+        };
+        let db = Database::with_wal_and_config(
+            Box::new(wal.clone()),
+            DbConfig {
+                checkpoint: policy,
+                ..DbConfig::default()
+            },
+        );
+        // One live row rewritten repeatedly: the log grows while live
+        // rows stay at 1, so the ratio trigger must fire.
+        for i in 0..64u32 {
+            db.put(&item(1, "v", i)).unwrap();
+        }
+        assert!(
+            wal.len() < 32,
+            "auto-checkpoint kept the log bounded, got {} lines",
+            wal.len()
+        );
+        // The compacted log still recovers the latest state.
+        let recovered = Database::recover(Box::new(wal.clone())).unwrap();
+        assert_eq!(recovered.get::<Item>(1).unwrap().weight, 63);
+        // Bound: ratio (4) × one live row, plus the snapshot line itself.
+        assert!(
+            recovered.replayed() <= 5,
+            "replay bounded by policy, got {}",
+            recovered.replayed()
+        );
+    }
+
+    #[test]
+    fn auto_checkpoint_respects_min_log_lines() {
+        let wal = MemWal::shared();
+        let db = Database::with_wal_and_config(
+            Box::new(wal.clone()),
+            DbConfig {
+                checkpoint: CheckpointPolicy {
+                    enabled: true,
+                    ratio: 1,
+                    min_log_lines: 1000,
+                },
+                ..DbConfig::default()
+            },
+        );
+        for i in 0..50u32 {
+            db.put(&item(1, "v", i)).unwrap();
+        }
+        assert_eq!(wal.len(), 50, "below min_log_lines nothing compacts");
+    }
+
+    #[test]
+    fn auto_checkpoint_is_deterministic_across_runs() {
+        let run = || {
+            let wal = MemWal::shared();
+            let db = Database::with_wal_and_config(
+                Box::new(wal.clone()),
+                DbConfig {
+                    checkpoint: CheckpointPolicy {
+                        enabled: true,
+                        ratio: 2,
+                        min_log_lines: 8,
+                    },
+                    ..DbConfig::default()
+                },
+            );
+            for i in 0..40u64 {
+                db.put(&item(i % 5, "v", i as u32)).unwrap();
+                if i % 3 == 0 {
+                    let _ = db.delete::<Item>(i % 5).unwrap();
+                }
+            }
+            wal.read_all().unwrap()
+        };
+        assert_eq!(run(), run(), "same commits, same compaction points");
     }
 
     #[test]
@@ -565,6 +1076,24 @@ mod tests {
         let tel = Telemetry::shared();
         db.attach_telemetry(Arc::clone(&tel));
         assert_eq!(tel.counter("wal.replays"), 2);
+    }
+
+    #[test]
+    fn telemetry_counts_cache_hits_and_misses() {
+        let wal = MemWal::shared();
+        {
+            let db = Database::with_wal(Box::new(wal.clone()));
+            db.insert(&item(1, "a", 1)).unwrap();
+        }
+        let db = Database::recover(Box::new(wal)).unwrap();
+        let tel = Telemetry::shared();
+        db.attach_telemetry(Arc::clone(&tel));
+        db.get::<Item>(1).unwrap(); // cold: decode + fill
+        db.get::<Item>(1).unwrap(); // hot: cache hit
+        assert_eq!(tel.counter("db.cache.misses"), 1);
+        assert_eq!(tel.counter("db.cache.hits"), 1);
+        assert_eq!(tel.counter("db.rows.read"), 2);
+        assert_eq!(tel.counter("db.rows.decoded"), 1);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! db.create_index::<Job>("/state");
 //! db.insert(&Job { id: 1, state: "ready".into() }).unwrap();
 //! db.insert(&Job { id: 2, state: "running".into() }).unwrap();
-//! let ready = db.scan_where::<Job>("/state", &serde_json::json!("ready"));
+//! let ready = db.scan_where::<Job>("/state", &serde_json::json!("ready")).unwrap();
 //! assert_eq!(ready.len(), 1);
 //! ```
 
@@ -147,18 +147,22 @@ mod tests {
         db.insert(&task(1, "ready", None)).unwrap();
         db.insert(&task(2, "ready", None)).unwrap();
         db.insert(&task(3, "running", Some(4))).unwrap();
-        let ready = db.scan_where::<Task>("/state", &serde_json::json!("ready"));
+        let ready = db
+            .scan_where::<Task>("/state", &serde_json::json!("ready"))
+            .unwrap();
         assert_eq!(ready.len(), 2);
         // Update moves the row between index buckets.
         db.update::<Task>(1, |t| t.state = "running".into())
             .unwrap();
         assert_eq!(
             db.scan_where::<Task>("/state", &serde_json::json!("ready"))
+                .unwrap()
                 .len(),
             1
         );
         assert_eq!(
             db.scan_where::<Task>("/state", &serde_json::json!("running"))
+                .unwrap()
                 .len(),
             2
         );
@@ -166,6 +170,7 @@ mod tests {
         db.delete::<Task>(3).unwrap();
         assert_eq!(
             db.scan_where::<Task>("/state", &serde_json::json!("running"))
+                .unwrap()
                 .len(),
             1
         );
@@ -179,6 +184,7 @@ mod tests {
         db.create_index::<Task>("/state");
         assert_eq!(
             db.scan_where::<Task>("/state", &serde_json::json!("done"))
+                .unwrap()
                 .len(),
             1
         );
@@ -190,7 +196,9 @@ mod tests {
         db.insert(&task(1, "ready", Some(7))).unwrap();
         db.insert(&task(2, "ready", Some(8))).unwrap();
         // No index on /site: still correct, just a table scan.
-        let hits = db.scan_where::<Task>("/site", &serde_json::json!(7));
+        let hits = db
+            .scan_where::<Task>("/site", &serde_json::json!(7))
+            .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].id, 1);
     }
@@ -201,7 +209,7 @@ mod tests {
         db.create_index::<Task>("/site");
         db.insert(&task(1, "ready", None)).unwrap();
         db.insert(&task(2, "ready", Some(3))).unwrap();
-        let unplaced = db.scan_where::<Task>("/site", &Value::Null);
+        let unplaced = db.scan_where::<Task>("/site", &Value::Null).unwrap();
         assert_eq!(unplaced.len(), 1);
         assert_eq!(unplaced[0].id, 1);
     }
@@ -216,6 +224,7 @@ mod tests {
         txn.commit().unwrap();
         assert_eq!(
             db.scan_where::<Task>("/state", &serde_json::json!("a"))
+                .unwrap()
                 .len(),
             1
         );
@@ -235,11 +244,13 @@ mod tests {
             for s in states {
                 let via_index: Vec<u64> = db
                     .scan_where::<Task>("/state", &serde_json::json!(s))
+                    .unwrap()
                     .iter()
                     .map(|t| t.id)
                     .collect();
                 let via_scan: Vec<u64> = db
                     .scan_filter::<Task>(|t| t.state == s)
+                    .unwrap()
                     .iter()
                     .map(|t| t.id)
                     .collect();

@@ -47,8 +47,8 @@ mod queue;
 mod txn;
 mod wal;
 
-pub use database::{Database, Record, TableStats};
+pub use database::{CheckpointPolicy, Database, DbConfig, ReadStats, Record, TableStats};
 pub use error::DbError;
 pub use queue::Queue;
 pub use txn::Txn;
-pub use wal::{FileWal, MemWal, Wal};
+pub use wal::{FileWal, FsyncPolicy, MemWal, Wal};

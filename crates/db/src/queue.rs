@@ -14,18 +14,27 @@ use serde::Serialize;
 use std::marker::PhantomData;
 
 /// A durable FIFO queue of messages of type `M`, stored in its own table.
+///
+/// Sequence numbers come from a persistent per-queue counter row (table
+/// `"<name>.seq"`), not from the largest key still present — so a fully
+/// drained queue never reuses a sequence number, and ordering claims that
+/// span a drain/refill (or a crash) stay meaningful.
 pub struct Queue<'a, M> {
     db: &'a Database,
     table: String,
+    seq_table: String,
     _marker: PhantomData<M>,
 }
 
 impl<'a, M: Serialize + DeserializeOwned> Queue<'a, M> {
     /// Attach to (or create) the queue stored in table `name`.
     pub fn new(db: &'a Database, name: impl Into<String>) -> Self {
+        let table = name.into();
+        let seq_table = format!("{table}.seq");
         Queue {
             db,
-            table: name.into(),
+            table,
+            seq_table,
             _marker: PhantomData,
         }
     }
@@ -37,11 +46,27 @@ impl<'a, M: Serialize + DeserializeOwned> Queue<'a, M> {
         }
     }
 
-    /// Append a message; returns its sequence number.
+    /// The next sequence number to hand out.
+    fn next_seq(&self) -> u64 {
+        match self.db.raw_get(&self.seq_table, 0).and_then(|v| v.as_u64()) {
+            Some(n) => n,
+            // Logs written before the counter existed: resume after the
+            // highest sequence still in the table (best effort — the old
+            // scheme could not do better either).
+            None => self.db.raw_max_key(&self.table).map_or(0, |k| k + 1),
+        }
+    }
+
+    /// Append a message; returns its sequence number. The message and the
+    /// counter bump commit atomically (one WAL line).
     pub fn push(&self, msg: &M) -> Result<u64, DbError> {
-        let seq = self.db.raw_max_key(&self.table).map_or(0, |k| k + 1);
+        let seq = self.next_seq();
         let value = serde_json::to_value(msg).map_err(|e| self.codec_err(e))?;
-        self.db.raw_put(&self.table, seq, value)?;
+        let counter = serde_json::to_value(seq + 1).map_err(|e| self.codec_err(e))?;
+        self.db.raw_put_many(vec![
+            (self.table.clone(), seq, value),
+            (self.seq_table.clone(), 0, counter),
+        ])?;
         Ok(seq)
     }
 
@@ -151,9 +176,26 @@ mod tests {
         let s0 = q.push(&m("a")).unwrap();
         q.pop().unwrap();
         let s1 = q.push(&m("b")).unwrap();
-        // After popping the only element the next push may reuse sequence
-        // space, but order is still FIFO within live elements.
-        assert!(s1 >= s0);
+        // The persistent counter never reuses sequence space, even after
+        // the queue was emptied.
+        assert_eq!(s1, s0 + 1);
+    }
+
+    #[test]
+    fn drained_queue_does_not_reuse_sequence_numbers() {
+        let db = Database::in_memory();
+        let q: Queue<Msg> = Queue::new(&db, "inbox");
+        let mut seqs = Vec::new();
+        for round in 0..3 {
+            for i in 0..4 {
+                seqs.push(q.push(&m(&format!("r{round}m{i}"))).unwrap());
+            }
+            let drained = q.drain().unwrap();
+            assert_eq!(drained.len(), 4);
+            assert_eq!(drained[0].body, format!("r{round}m0"), "FIFO per round");
+        }
+        let expected: Vec<u64> = (0..12).collect();
+        assert_eq!(seqs, expected, "strictly monotonic across drains");
     }
 
     #[test]
@@ -180,5 +222,28 @@ mod tests {
         let q: Queue<Msg> = Queue::new(&db, "inbox");
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap().unwrap().body, "durable-2");
+    }
+
+    #[test]
+    fn fifo_and_sequences_survive_drain_refill_and_recovery() {
+        let wal = MemWal::shared();
+        {
+            let db = Database::with_wal(Box::new(wal.clone()));
+            let q: Queue<Msg> = Queue::new(&db, "inbox");
+            assert_eq!(q.push(&m("a")).unwrap(), 0);
+            assert_eq!(q.push(&m("b")).unwrap(), 1);
+            // Fully drain, then crash with the queue empty.
+            assert_eq!(q.drain().unwrap().len(), 2);
+        }
+        let db = Database::recover(Box::new(wal)).unwrap();
+        let q: Queue<Msg> = Queue::new(&db, "inbox");
+        assert!(q.is_empty());
+        // The counter survived the crash even though the table is empty:
+        // refilled messages continue the sequence and stay FIFO.
+        assert_eq!(q.push(&m("c")).unwrap(), 2);
+        assert_eq!(q.push(&m("d")).unwrap(), 3);
+        let refilled = q.drain().unwrap();
+        assert_eq!(refilled[0].body, "c");
+        assert_eq!(refilled[1].body, "d");
     }
 }

@@ -1,6 +1,6 @@
 //! Transactions and log entries.
 
-use crate::database::{Database, Record, Tables};
+use crate::database::{Database, Primed, Record, Tables};
 use crate::error::DbError;
 use serde::{Deserialize, Serialize};
 
@@ -93,6 +93,9 @@ impl LogEntry {
 pub struct Txn<'a> {
     db: &'a Database,
     ops: Vec<Op>,
+    /// Decoded copies of the put rows, used to prime the row cache at
+    /// commit so the freshly-written rows never need re-decoding.
+    primed: Vec<Primed>,
 }
 
 impl<'a> Txn<'a> {
@@ -100,6 +103,7 @@ impl<'a> Txn<'a> {
         Txn {
             db,
             ops: Vec::new(),
+            primed: Vec::new(),
         }
     }
 
@@ -114,6 +118,13 @@ impl<'a> Txn<'a> {
             key: row.key(),
             row: value,
         });
+        if self.db.config().cache {
+            self.primed.push(Primed {
+                table: R::TABLE,
+                key: row.key(),
+                row: Box::new(row.clone()),
+            });
+        }
         Ok(self)
     }
 
@@ -138,7 +149,7 @@ impl<'a> Txn<'a> {
 
     /// Atomically apply all buffered operations (one WAL line).
     pub fn commit(self) -> Result<(), DbError> {
-        self.db.commit_ops(self.ops)
+        self.db.commit_ops_primed(self.ops, self.primed)
     }
 }
 

@@ -28,6 +28,8 @@
 //! | `plan.reschedules_held`, `plan.reschedules_timeout` | counter |
 //! | `reliability.flagged`, `reliability.unflagged` | counter |
 //! | `wal.appends`, `wal.replays`, `wal.rewrites` | counter |
+//! | `db.rows.read`, `db.rows.decoded` | counter |
+//! | `db.cache.hits`, `db.cache.misses` | counter |
 //! | `monitor.samples`, `monitor.samples_lost` | counter |
 //! | `grid.submits`, `grid.starts`, `grid.completions`, `grid.holds`, `grid.cancels` | counter |
 //! | `fsa.dwell_ms.{ready,submitted,queued,running,unready}` | histogram |

@@ -56,7 +56,10 @@ impl Number {
                 return Some(Number::from_i64(i));
             }
         }
-        s.parse::<f64>().ok().filter(|f| f.is_finite()).map(Number::F)
+        s.parse::<f64>()
+            .ok()
+            .filter(|f| f.is_finite())
+            .map(Number::F)
     }
 }
 

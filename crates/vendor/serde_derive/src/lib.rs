@@ -106,7 +106,9 @@ fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttr {
         default: false,
     };
     while *i + 1 < tokens.len() {
-        let TokenTree::Punct(p) = &tokens[*i] else { break };
+        let TokenTree::Punct(p) = &tokens[*i] else {
+            break;
+        };
         if p.as_char() != '#' {
             break;
         }
@@ -155,7 +157,10 @@ fn parse_fields(group: TokenStream) -> Result<Vec<Field>, String> {
         let attr = take_attrs(&tokens, &mut i);
         skip_vis(&tokens, &mut i);
         let Some(TokenTree::Ident(name)) = tokens.get(i) else {
-            return Err(format!("expected field name, got {:?}", tokens.get(i).map(|t| t.to_string())));
+            return Err(format!(
+                "expected field name, got {:?}",
+                tokens.get(i).map(|t| t.to_string())
+            ));
         };
         let name = name.to_string();
         i += 1;
@@ -238,7 +243,12 @@ fn parse_input(input: TokenStream) -> Result<Parsed, String> {
     skip_vis(&tokens, &mut i);
     let keyword = match tokens.get(i) {
         Some(TokenTree::Ident(id)) => id.to_string(),
-        other => return Err(format!("expected struct/enum, got {:?}", other.map(|t| t.to_string()))),
+        other => {
+            return Err(format!(
+                "expected struct/enum, got {:?}",
+                other.map(|t| t.to_string())
+            ))
+        }
     };
     i += 1;
     let Some(TokenTree::Ident(name)) = tokens.get(i) else {
@@ -248,7 +258,9 @@ fn parse_input(input: TokenStream) -> Result<Parsed, String> {
     i += 1;
     if let Some(TokenTree::Punct(p)) = tokens.get(i) {
         if p.as_char() == '<' {
-            return Err(format!("generic type `{name}` is not supported by the vendored serde derive"));
+            return Err(format!(
+                "generic type `{name}` is not supported by the vendored serde derive"
+            ));
         }
     }
     let shape = match (keyword.as_str(), tokens.get(i)) {

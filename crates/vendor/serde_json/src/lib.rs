@@ -264,10 +264,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -277,8 +274,8 @@ impl<'a> Parser<'a> {
                 }
                 Some(_) => {
                     // Multi-byte UTF-8: copy the whole character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|e| Error::new(e))?;
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| Error::new(e))?;
                     let c = rest.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -291,8 +288,8 @@ impl<'a> Parser<'a> {
         if self.pos + 4 > self.bytes.len() {
             return Err(Error::new("truncated unicode escape"));
         }
-        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(|e| Error::new(e))?;
+        let text =
+            std::str::from_utf8(&self.bytes[self.pos..self.pos + 4]).map_err(|e| Error::new(e))?;
         let n = u16::from_str_radix(text, 16).map_err(|e| Error::new(e))?;
         self.pos += 4;
         Ok(n)
@@ -358,7 +355,8 @@ mod tests {
 
     #[test]
     fn round_trips_documents() {
-        let doc = r#"{"kind":"txn","ops":[{"key":3,"op":"put","row":{"x":1.5}},{"key":4,"op":"del"}]}"#;
+        let doc =
+            r#"{"kind":"txn","ops":[{"key":3,"op":"put","row":{"x":1.5}},{"key":4,"op":"del"}]}"#;
         let v: Value = from_str(doc).unwrap();
         assert_eq!(to_string(&v).unwrap(), doc);
     }

@@ -377,7 +377,7 @@ pub fn recovery(params: ExperimentParams, crash_after: Duration) -> RecoveryOutc
     // the WAL-backed database.
     let mut rt = scenario.build_runtime_with_db(Arc::clone(&db));
     let finished_early = rt.run_until(SimTime::ZERO + crash_after);
-    let finished_before_crash = rt.build_report().jobs_completed;
+    let finished_before_crash = rt.build_report().expect("report").jobs_completed;
     let config = rt.config().clone();
     let grid = rt.into_grid(); // server + client die here
 
@@ -387,7 +387,7 @@ pub fn recovery(params: ExperimentParams, crash_after: Duration) -> RecoveryOutc
         sphinx_core::runtime::SphinxRuntime::with_recovered_database(grid, config, recovered)
             .unwrap();
     let report = if finished_early {
-        rt2.build_report()
+        rt2.build_report().expect("report")
     } else {
         rt2.run()
     };

@@ -96,6 +96,9 @@ pub struct Scenario {
     /// Targeting the *last* DAGs makes the EDF reordering observable —
     /// without deadlines they would be planned after everything else.
     pub deadline_last: Option<(u32, Duration)>,
+    /// Record `wall.*` host-clock metrics (planner-cycle latency). Off by
+    /// default: the deterministic profile never touches the host clock.
+    pub wall_clock_telemetry: bool,
 }
 
 impl Scenario {
@@ -172,7 +175,7 @@ impl Scenario {
                 }
             }
         }
-        let config = RuntimeConfig {
+        let mut config = RuntimeConfig {
             strategy: self.strategy,
             feedback: self.feedback,
             policy_enabled: self.quota.is_some(),
@@ -183,6 +186,7 @@ impl Scenario {
             seed: self.seed,
             ..RuntimeConfig::default()
         };
+        config.telemetry.wall_clock = self.wall_clock_telemetry;
         let mut rt = SphinxRuntime::with_database(grid, config, db);
         if let Some(quota) = self.quota {
             let policy = rt.server_mut().policy_mut();
@@ -233,6 +237,7 @@ impl Default for ScenarioBuilder {
                 external_replicas: 2,
                 archive_site: None,
                 deadline_last: None,
+                wall_clock_telemetry: false,
             },
         }
     }
@@ -316,6 +321,13 @@ impl ScenarioBuilder {
     /// submission; the planner runs earliest-deadline-first.
     pub fn deadline_last(mut self, n: u32, within: Duration) -> Self {
         self.scenario.deadline_last = Some((n, within));
+        self
+    }
+
+    /// Record `wall.*` host-clock metrics (the scale benchmark uses the
+    /// planner-cycle latency histogram). Leave off for deterministic runs.
+    pub fn wall_clock_telemetry(mut self, enabled: bool) -> Self {
+        self.scenario.wall_clock_telemetry = enabled;
         self
     }
 

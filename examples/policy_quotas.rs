@@ -63,6 +63,7 @@ fn main() {
     let db = rt.server().database();
     let bobs_sites: Vec<SiteId> = db
         .scan_filter::<JobRow>(|j| j.id.dag == dags[1].id && j.state == JobState::Finished)
+        .expect("job table scans")
         .into_iter()
         .filter_map(|j| j.site)
         .collect();

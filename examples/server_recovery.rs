@@ -32,7 +32,7 @@ fn main() {
     // Run for five simulated minutes, then "crash".
     let crash_at = SimTime::ZERO + Duration::from_mins(5);
     rt.run_until(crash_at);
-    let before = rt.build_report();
+    let before = rt.build_report().expect("report");
     println!(
         "t={:>4.0}s  server crashes: {} of 50 jobs finished, {} in flight",
         crash_at.as_secs_f64(),

@@ -152,7 +152,7 @@ proptest! {
 
         // Invariants after the storm:
         let db = server.database();
-        let jobs = db.scan::<JobRow>();
+        let jobs = db.scan::<JobRow>().unwrap();
         prop_assert_eq!(jobs.len(), dag.len());
         // Completion reports recorded exactly once each.
         prop_assert_eq!(server.reliability().total_completed() as usize, completed.len());

@@ -3,7 +3,7 @@
 
 use sphinx::core::runtime::SphinxRuntime;
 use sphinx::core::strategy::StrategyKind;
-use sphinx::db::{Database, MemWal};
+use sphinx::db::{CheckpointPolicy, Database, DbConfig, MemWal};
 use sphinx::sim::{Duration, SimTime};
 use sphinx::workloads::experiments::{recovery, ExperimentParams};
 use sphinx::workloads::{grid3, FaultPlan, Scenario};
@@ -126,6 +126,68 @@ fn checkpoint_compaction_preserves_recoverability() {
     let mut rt2 = SphinxRuntime::with_recovered_database(grid, config, recovered).unwrap();
     let report = rt2.run();
     assert!(report.finished, "{}", report.summary());
+}
+
+#[test]
+fn auto_checkpoint_interleaves_with_crash_recovery() {
+    // The same seeded workload, crashed mid-run and recovered, must end in
+    // the same place whether the log was never compacted or compacted
+    // automatically many times along the way — and the automatic policy
+    // must keep the recovery replay bounded by its ratio.
+    let aggressive = CheckpointPolicy {
+        enabled: true,
+        ratio: 2,
+        min_log_lines: 8,
+    };
+    let run = |db_config: DbConfig| {
+        let scenario = faulty().strategy(StrategyKind::CompletionTime).build();
+        let wal = MemWal::shared();
+        let db = Arc::new(Database::with_wal_and_config(
+            Box::new(wal.clone()),
+            db_config,
+        ));
+        let mut rt = scenario.build_runtime_with_db(Arc::clone(&db));
+        rt.run_until(SimTime::ZERO + Duration::from_mins(4));
+        let config = rt.config().clone();
+        let grid = rt.into_grid(); // crash
+
+        let recovered =
+            Arc::new(Database::recover_with_config(Box::new(wal), db_config).expect("log replays"));
+        let replayed = recovered.replayed();
+        let live = recovered.live_rows();
+        let mut rt2 = SphinxRuntime::with_recovered_database(grid, config, recovered).unwrap();
+        let mut report = rt2.run();
+        // WAL/cache counter values legitimately differ between the two
+        // configurations; the *outcome* must not.
+        report.telemetry = sphinx::telemetry::TelemetrySnapshot::default();
+        (report, replayed, live)
+    };
+
+    let (base_report, base_replayed, _) = run(DbConfig {
+        checkpoint: CheckpointPolicy::disabled(),
+        ..DbConfig::default()
+    });
+    let (auto_report, auto_replayed, auto_live) = run(DbConfig {
+        checkpoint: aggressive,
+        ..DbConfig::default()
+    });
+
+    assert!(auto_report.finished, "{}", auto_report.summary());
+    assert_eq!(
+        auto_report, base_report,
+        "auto-checkpointing must not change the scheduling outcome"
+    );
+    // Post-commit invariant of the policy: the log was either still below
+    // min_log_lines or within ratio × live rows when the crash hit.
+    let bound = (aggressive.ratio * auto_live).max(aggressive.min_log_lines);
+    assert!(
+        auto_replayed <= bound,
+        "replay {auto_replayed} exceeds policy bound {bound}"
+    );
+    assert!(
+        auto_replayed < base_replayed,
+        "auto-checkpointing must shrink replay ({auto_replayed} vs {base_replayed})"
+    );
 }
 
 #[test]

@@ -257,6 +257,6 @@ fn every_declared_job_edge_is_exercised_through_the_server() {
     // The DAG automaton ran its full Received -> Running -> Finished path.
     let dag_row = server.database().get::<DagRow>(dag.id.0).unwrap();
     assert_eq!(dag_row.state, DagState::Finished);
-    let jobs = server.database().scan::<JobRow>();
+    let jobs = server.database().scan::<JobRow>().unwrap();
     assert!(jobs.iter().any(|j| j.state == JobState::Eliminated));
 }

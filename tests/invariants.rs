@@ -35,7 +35,7 @@ proptest! {
         prop_assert_eq!(report.jobs_completed + report.jobs_eliminated, 16);
 
         let db = rt.server().database();
-        let jobs = db.scan::<JobRow>();
+        let jobs = db.scan::<JobRow>().unwrap();
         prop_assert_eq!(jobs.len(), 16);
         let finished = jobs.iter().filter(|j| j.state == JobState::Finished).count();
         let eliminated = jobs.iter().filter(|j| j.state == JobState::Eliminated).count();
