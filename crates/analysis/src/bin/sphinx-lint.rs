@@ -8,6 +8,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: sphinx-lint check [--update-ratchet]");
+    eprintln!("       sphinx-lint validate-prom <file>");
     eprintln!();
     eprintln!("Runs the workspace static-analysis pass:");
     eprintln!("  - determinism lints over the sim-facing crates");
@@ -16,14 +17,48 @@ fn usage() -> ExitCode {
         sphinx_analysis::determinism::ALL_RULES.join(", ")
     );
     eprintln!("  - FSA transition-table verification over crates/core");
-    eprintln!("  - panic-path ratchet over crates/core and crates/db");
+    eprintln!("  - panic-path ratchet over crates/core, crates/db and crates/telemetry");
     eprintln!();
     eprintln!("  --update-ratchet   re-record the panic budget at the observed counts");
+    eprintln!();
+    eprintln!("`validate-prom` parses a Prometheus text-exposition file with the");
+    eprintln!("telemetry exporter's own validator (CI runs it on results/metrics.prom).");
     ExitCode::from(2)
+}
+
+fn validate_prom(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sphinx-lint: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match sphinx_telemetry::validate_prometheus(&text) {
+        Ok(()) => {
+            let samples = text
+                .lines()
+                .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+                .count();
+            println!("sphinx-lint: {path} is valid Prometheus text exposition ({samples} samples)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sphinx-lint: {path}: {e}");
+            ExitCode::from(1)
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("validate-prom") {
+        let [_, path] = args.as_slice() else {
+            eprintln!("sphinx-lint: validate-prom takes exactly one file");
+            return usage();
+        };
+        return validate_prom(path);
+    }
     let mut update_ratchet = false;
     let mut command = None;
     for arg in &args {

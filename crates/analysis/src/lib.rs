@@ -83,9 +83,10 @@ pub const SIM_CRATES: &[&str] = &[
 /// gets the wall-clock rule (each read must carry an explicit allow).
 pub const WALL_CLOCK_ONLY_CRATES: &[&str] = &["bench"];
 
-/// Crates under the panic-path ratchet (the server and its durability
-/// layer — the two places a panic loses scheduling state).
-pub const PANIC_CRATES: &[&str] = &["crates/core", "crates/db"];
+/// Crates under the panic-path ratchet (the server, its durability
+/// layer, and the telemetry hub every hot path calls into — the places
+/// a panic loses scheduling state).
+pub const PANIC_CRATES: &[&str] = &["crates/core", "crates/db", "crates/telemetry"];
 
 /// Where the panic budget lives, relative to the workspace root.
 pub const RATCHET_PATH: &str = "crates/analysis/panic-ratchet.txt";

@@ -15,7 +15,7 @@ use sphinx_bench::{
 };
 use sphinx_policy::Requirement;
 use sphinx_sim::Duration;
-use sphinx_telemetry::JsonlSink;
+use sphinx_telemetry::{chrome_trace_json, prometheus_text, validate_prometheus, JsonlSink};
 use sphinx_workloads::experiments::{
     ablate_burst, ablate_fault_density, ablate_staleness, fig2, fig345, fig6, fig7, fig8, qos,
     recovery, ExperimentParams, SeriesPoint,
@@ -280,6 +280,63 @@ fn main() {
                     .expect("write chart");
                 write_json(&opts.results_dir, "telemetry", snap).expect("write results");
                 println!("trace written to {}", trace_path.display());
+
+                // Standard exporters: a Perfetto-loadable Chrome trace of
+                // the span forest and a Prometheus text exposition of the
+                // snapshot (self-validated before it is written).
+                if snap.trace_dropped > 0 {
+                    eprintln!(
+                        "warning: {} trace events dropped from the ring (raise trace_capacity)",
+                        snap.trace_dropped
+                    );
+                }
+                if snap.spans_dropped > 0 {
+                    eprintln!(
+                        "warning: {} finished spans evicted (raise span_capacity)",
+                        snap.spans_dropped
+                    );
+                }
+                let chrome = chrome_trace_json(&rt.telemetry().spans());
+                let chrome_path = opts.results_dir.join("trace_chrome.json");
+                std::fs::write(&chrome_path, chrome).expect("write chrome trace");
+                println!(
+                    "chrome trace written to {} (open in ui.perfetto.dev)",
+                    chrome_path.display()
+                );
+                let prom = prometheus_text(snap);
+                if let Err(e) = validate_prometheus(&prom) {
+                    eprintln!("warning: prometheus exposition failed validation: {e}");
+                }
+                let prom_path = opts.results_dir.join("metrics.prom");
+                std::fs::write(&prom_path, prom).expect("write prometheus text");
+                println!("prometheus metrics written to {}", prom_path.display());
+
+                // Critical-path report: why each DAG finished when it did.
+                let analysis = &report.analysis;
+                println!(
+                    "spans: {} total, {} live at exit, {} dropped",
+                    analysis.spans_total, analysis.spans_live, analysis.spans_dropped
+                );
+                for path in &analysis.critical_paths {
+                    println!(
+                        "dag {}: makespan {:.0}s, critical path {:.0}s across {} jobs: {:?}",
+                        path.dag,
+                        path.makespan_ms as f64 / 1000.0,
+                        path.path_ms as f64 / 1000.0,
+                        path.jobs.len(),
+                        path.jobs
+                    );
+                }
+                for blame in analysis.slowest_jobs.iter().take(5) {
+                    println!(
+                        "slow job {} (dag {}): {:.0}s over {} attempt(s), blame {}",
+                        blame.job,
+                        blame.dag,
+                        blame.total_ms as f64 / 1000.0,
+                        blame.attempts,
+                        blame.blame
+                    );
+                }
             }
             "scale" => {
                 // Storage hot-path sweep: baseline (full-table decode) vs

@@ -260,6 +260,7 @@ mod tests {
             deadlines_missed: 0,
             sites: vec![],
             telemetry: Default::default(),
+            analysis: Default::default(),
         }
     }
 

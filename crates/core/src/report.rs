@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use sphinx_data::SiteId;
-use sphinx_telemetry::TelemetrySnapshot;
+use sphinx_telemetry::{TelemetrySnapshot, TraceAnalysis};
 
 /// Per-site outcome line (Figure 6's site-wise distribution).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -68,6 +68,10 @@ pub struct RunReport {
     /// latency histograms, per-site grid tallies).
     #[serde(default)]
     pub telemetry: TelemetrySnapshot,
+    /// Span-graph analysis: per-DAG critical paths and the slowest jobs
+    /// with per-state dwell blame.
+    #[serde(default)]
+    pub analysis: TraceAnalysis,
 }
 
 impl RunReport {
@@ -140,6 +144,7 @@ mod tests {
                 },
             ],
             telemetry: TelemetrySnapshot::default(),
+            analysis: TraceAnalysis::default(),
         }
     }
 

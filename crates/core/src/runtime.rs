@@ -214,10 +214,12 @@ impl SphinxRuntime {
     fn planner_tick(&mut self) -> CoreResult<()> {
         let now = self.grid.now();
         // 1. Message handling: drain tracker reports from the inbox.
+        let track_span = self.server.telemetry().span_start("phase:track", now);
         let inbox: Queue<StatusReport> = Queue::new(&self.db, INBOX);
         for report in inbox.drain()? {
             self.server.handle_report(report, now)?;
         }
+        self.server.telemetry().span_end(track_span, now);
         // 2. Planning: advance the automaton, write plans to the outbox.
         let reports: BTreeMap<SiteId, sphinx_monitor::Report> = self
             .monitor
@@ -242,6 +244,7 @@ impl SphinxRuntime {
                 .telemetry()
                 .observe("wall.plan_cycle_us", start.elapsed().as_micros() as f64);
         }
+        let submit_span = self.server.telemetry().span_start("phase:submit", now);
         let outbox: Queue<PlanNotice> = Queue::new(&self.db, OUTBOX);
         for plan in &plans {
             outbox.push(plan)?;
@@ -250,6 +253,7 @@ impl SphinxRuntime {
         for plan in outbox.drain()? {
             self.client.submit_plan(&mut self.grid, &plan, now);
         }
+        self.server.telemetry().span_end(submit_span, now);
         self.grid
             .schedule_wakeup(now + self.config.planner_period, TOKEN_PLANNER);
         Ok(())
@@ -487,6 +491,7 @@ impl SphinxRuntime {
             deadlines_missed,
             sites,
             telemetry: self.server.telemetry_snapshot(),
+            analysis: self.server.telemetry().analyze(10),
         })
     }
 }

@@ -297,9 +297,10 @@ impl SphinxServer {
             None,
             format!("dag={} jobs={}", dag.id.0, dag.jobs.len()),
         );
+        self.telemetry.dag_span_start(dag.id.0, dag.jobs.len(), now);
         for job in &dag.jobs {
             self.telemetry
-                .note_job_state(job.id.as_key(), "unready", now);
+                .note_job_state(job.id.as_key(), dag.id.0, "unready", None, None, now);
         }
         Ok(())
     }
@@ -328,6 +329,7 @@ impl SphinxServer {
                 None,
                 format!("dag={}", dag_id.0),
             );
+            self.telemetry.dag_span_end(dag_id.0, now);
         }
         Ok(())
     }
@@ -369,7 +371,8 @@ impl SphinxServer {
                     }
                 })?;
                 if advanced {
-                    self.telemetry.note_job_state(key, "queued", now);
+                    self.telemetry
+                        .note_job_state(key, job.dag.0, "queued", Some(site), None, now);
                     self.telemetry.trace(
                         TraceKind::JobQueued,
                         now,
@@ -389,7 +392,8 @@ impl SphinxServer {
                     }
                 })?;
                 if advanced {
-                    self.telemetry.note_job_state(key, "running", now);
+                    self.telemetry
+                        .note_job_state(key, job.dag.0, "running", Some(site), None, now);
                     self.telemetry.trace(
                         TraceKind::JobRunning,
                         now,
@@ -425,7 +429,8 @@ impl SphinxServer {
                 self.prediction.record(site, total);
                 let transition = self.reliability.record_completed_at(site, now);
                 self.note_flag_transition(transition, site, now);
-                self.telemetry.note_job_state(key, "finished", now);
+                self.telemetry
+                    .note_job_state(key, job.dag.0, "finished", Some(site), None, now);
                 self.telemetry.observe_ms("job.completion_ms", total);
                 self.telemetry.trace(
                     TraceKind::JobCompleted,
@@ -455,7 +460,17 @@ impl SphinxServer {
                             }
                         })?;
                         if advanced {
-                            self.telemetry.note_job_state(child.as_key(), "ready", now);
+                            // The completing job is the ready-cause: its
+                            // span is what critical-path extraction links
+                            // this child's readiness back to.
+                            self.telemetry.note_job_state(
+                                child.as_key(),
+                                job.dag.0,
+                                "ready",
+                                None,
+                                Some(key),
+                                now,
+                            );
                             self.telemetry.trace(
                                 TraceKind::JobReady,
                                 now,
@@ -482,7 +497,8 @@ impl SphinxServer {
                 self.db.update::<JobRow>(key, |j| j.reset_for_replan())?;
                 let transition = self.reliability.record_cancelled_at(site, now);
                 self.note_flag_transition(transition, site, now);
-                self.telemetry.note_job_state(key, "ready", now);
+                self.telemetry
+                    .note_job_state(key, job.dag.0, "ready", None, None, now);
                 self.bump_site_stats(site, |s| s.cancelled += 1)?;
                 self.dec_outstanding(site);
                 let cause_label = match cause {
@@ -553,7 +569,8 @@ impl SphinxServer {
             for &idx in &reduction.eliminated {
                 let jid = JobId::new(dag_row.id, idx).as_key();
                 self.telemetry.counter_add("job.eliminated", 1);
-                self.telemetry.note_job_state(jid, "eliminated", now);
+                self.telemetry
+                    .note_job_state(jid, dag_row.id.0, "eliminated", None, None, now);
                 self.telemetry.trace(
                     TraceKind::JobEliminated,
                     now,
@@ -564,7 +581,8 @@ impl SphinxServer {
             }
             for idx in frontier.ready() {
                 let jid = JobId::new(dag_row.id, idx).as_key();
-                self.telemetry.note_job_state(jid, "ready", now);
+                self.telemetry
+                    .note_job_state(jid, dag_row.id.0, "ready", None, None, now);
                 self.telemetry
                     .trace(TraceKind::JobReady, now, Some(jid), None, String::new());
             }
@@ -652,7 +670,13 @@ impl SphinxServer {
             None,
             format!("reports={}", reports.len()),
         );
+        // Phase spans mark the FSA pipeline stages inside one plan
+        // cycle; instantaneous in sim time (the cycle itself consumes no
+        // simulated duration) but causally ordered by span id.
+        let reduce_span = self.telemetry.span_start("phase:reduce", now);
         self.reduce_received(rls, now)?;
+        self.telemetry.span_end(reduce_span, now);
+        let predict_span = self.telemetry.span_start("phase:predict", now);
         // The frontiers' ready sets mirror the `Ready` rows exactly and
         // avoid deserializing the whole job table every cycle.
         let mut ready: Vec<JobId> = self
@@ -718,6 +742,8 @@ impl SphinxServer {
         } else {
             None
         };
+        self.telemetry.span_end(predict_span, now);
+        let plan_span = self.telemetry.span_start("phase:plan", now);
         for job_id in ready {
             let Some(dag_row) = self.db.get::<DagRow>(job_id.dag.0) else {
                 continue;
@@ -783,8 +809,14 @@ impl SphinxServer {
             *self.outstanding.entry(site).or_default() += 1;
             self.stats.plans += 1;
             self.telemetry.counter_add("plan.jobs_submitted", 1);
-            self.telemetry
-                .note_job_state(job_id.as_key(), "submitted", now);
+            self.telemetry.note_job_state(
+                job_id.as_key(),
+                job_id.dag.0,
+                "submitted",
+                Some(site),
+                None,
+                now,
+            );
             self.telemetry.trace(
                 TraceKind::JobSubmitted,
                 now,
@@ -806,6 +838,7 @@ impl SphinxServer {
                 archive_to,
             });
         }
+        self.telemetry.span_end(plan_span, now);
         Ok(plans)
     }
 }

@@ -316,6 +316,7 @@ impl Database {
     pub fn attach_telemetry(&self, telemetry: Arc<Telemetry>) {
         if self.replayed > 0 {
             telemetry.counter_add("wal.replays", self.replayed);
+            telemetry.span_instant("wal:replay", format!("{} lines replayed", self.replayed));
         }
         *self.telemetry.lock() = Some(telemetry);
     }
@@ -663,6 +664,7 @@ impl Database {
         self.log_lines.store(1, Ordering::Relaxed);
         if let Some(t) = self.telemetry.lock().as_ref() {
             t.counter_add("wal.rewrites", 1);
+            t.span_instant("wal:checkpoint", "log compacted to snapshot".to_owned());
         }
         Ok(())
     }

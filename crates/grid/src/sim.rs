@@ -548,6 +548,9 @@ impl GridSim {
         rt.in_batch.insert(handle, (batch_id, req.tag, now));
         rt.by_batch.insert(batch_id, handle);
         rt.outputs.insert(handle, req.output.clone());
+        if let Some(t) = &self.telemetry {
+            t.grid_queued(site, req.tag, now);
+        }
         self.out.push(Notification::JobQueued {
             handle,
             tag: req.tag,

@@ -18,6 +18,13 @@
 //! (`wall.*`, recorded by the runtime around the planner) are gated by
 //! [`TelemetryConfig::wall_clock`], which defaults to **off**.
 //!
+//! Alongside the flat streams, the hub maintains a **causal span
+//! graph** (see [`span`]): sim-time intervals for DAGs, jobs, planning
+//! attempts, dwell states, batch-slot occupancy, planner phases and WAL
+//! activity, connected by parent and cause links. The [`analysis`]
+//! module turns the graph into critical paths and dwell blame, and
+//! [`export`] renders Chrome trace-event JSON and Prometheus text.
+//!
 //! Metric name inventory (see DESIGN.md §Telemetry for semantics):
 //!
 //! | name | type |
@@ -31,10 +38,22 @@
 //! | `db.rows.read`, `db.rows.decoded` | counter |
 //! | `db.cache.hits`, `db.cache.misses` | counter |
 //! | `monitor.samples`, `monitor.samples_lost` | counter |
-//! | `grid.submits`, `grid.starts`, `grid.completions`, `grid.holds`, `grid.cancels` | counter |
+//! | `grid.submits`, `grid.queues`, `grid.starts`, `grid.completions`, `grid.holds`, `grid.cancels` | counter |
+//! | `telemetry.trace.{recorded,dropped}` | counter (snapshot-synthesized) |
+//! | `telemetry.spans.{total,live,dropped}` | counter (snapshot-synthesized) |
 //! | `fsa.dwell_ms.{ready,submitted,queued,running,unready}` | histogram |
 //! | `plan.cycle_gap_ms`, `job.completion_ms`, `monitor.sample_age_ms` | histogram |
 //! | `wall.plan_cycle_us` | histogram (opt-in) |
+
+pub mod analysis;
+pub mod export;
+pub mod span;
+
+pub use analysis::{
+    CriticalPath, CriticalStep, DwellBreakdown, JobBlame, SpanGraph, TraceAnalysis,
+};
+pub use export::{chrome_trace_json, prometheus_text, validate_prometheus};
+pub use span::{Span, SpanAttrs, SpanId, SpanStore};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -138,9 +157,28 @@ pub struct TraceEvent {
 impl TraceEvent {
     /// Canonical single-line JSON encoding (what [`JsonlSink`] writes).
     /// Canonical-JSON stability is what makes same-seed traces
-    /// byte-comparable.
+    /// byte-comparable. Hand-rendered — byte-identical to the serde
+    /// encoding (key-sorted object) but infallible.
     pub fn to_json_line(&self) -> String {
-        serde_json::to_string(self).expect("trace event serializes")
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"detail\":");
+        let _ = serde::value::write_escaped(&mut out, &self.detail);
+        match self.job {
+            Some(job) => {
+                let _ = write!(out, ",\"job\":{job}");
+            }
+            None => out.push_str(",\"job\":null"),
+        }
+        let _ = write!(out, ",\"kind\":\"{:?}\"", self.kind);
+        let _ = write!(out, ",\"sim_time\":{}", self.sim_time.as_millis());
+        match self.site {
+            Some(site) => {
+                let _ = write!(out, ",\"site\":{site}}}");
+            }
+            None => out.push_str(",\"site\":null}"),
+        }
+        out
     }
 }
 
@@ -194,7 +232,18 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
         let _ = writeln!(self.writer, "{}", event.to_json_line());
     }
 
+    /// Flushes the *underlying writer*, so `Telemetry::flush_sinks`
+    /// pushes buffered lines all the way to their destination.
     fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// A run that ends without an explicit `flush_sinks` call must not
+/// truncate the trace file: flush when the sink is dropped (the hub
+/// drops its sinks when it is itself dropped).
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
         let _ = self.writer.flush();
     }
 }
@@ -308,6 +357,9 @@ pub struct TelemetryConfig {
     /// Ring-buffer capacity; older events are dropped (and counted) past
     /// it. Sinks still see every event.
     pub trace_capacity: usize,
+    /// Finished-span store capacity; older finished spans are dropped
+    /// (and counted) past it. Live spans are never evicted.
+    pub span_capacity: usize,
     /// Allow wall-clock (`wall.*`) metrics. **Off by default** so that
     /// same-seed runs produce identical snapshots.
     pub wall_clock: bool,
@@ -317,9 +369,26 @@ impl Default for TelemetryConfig {
     fn default() -> Self {
         TelemetryConfig {
             trace_capacity: 65_536,
+            span_capacity: 65_536,
             wall_clock: false,
         }
     }
+}
+
+/// Live span bookkeeping for one in-flight job.
+struct JobTrack {
+    /// Owning DAG id.
+    dag: u64,
+    /// The job's whole-lifetime span.
+    job_span: SpanId,
+    /// The currently open `state:*` dwell span.
+    state_span: Option<SpanId>,
+    /// The currently open `attempt` span (submit → finish/replanned).
+    attempt_span: Option<SpanId>,
+    /// The most recent closed attempt (linked from the next one).
+    last_attempt: Option<SpanId>,
+    /// Planning attempts so far (1-based after the first submit).
+    attempts: u64,
 }
 
 struct Inner {
@@ -333,6 +402,20 @@ struct Inner {
     recorded: u64,
     dropped: u64,
     sinks: Vec<Box<dyn TraceSink>>,
+    /// Causal span store (live + bounded finished).
+    spans: SpanStore,
+    /// Open root span per DAG id.
+    dag_spans: BTreeMap<u64, SpanId>,
+    /// Span bookkeeping per in-flight job key.
+    job_tracks: BTreeMap<u64, JobTrack>,
+    /// Job-span id per job key, kept after the job finishes so later
+    /// ready-cause links can resolve (one small entry per job).
+    job_span_ids: BTreeMap<u64, SpanId>,
+    /// Open `slot:queued`/`slot:run` span per job key (grid substrate).
+    slot_spans: BTreeMap<u64, SpanId>,
+    /// Latest sim time seen by any hook — the clockless layers (WAL)
+    /// stamp their spans with this.
+    last_sim: SimTime,
 }
 
 /// The shared telemetry hub. Cheap to clone behind an [`Arc`]; every
@@ -366,6 +449,7 @@ impl Telemetry {
 
     /// Hub with explicit tuning.
     pub fn with_config(config: TelemetryConfig) -> Self {
+        let spans = SpanStore::new(config.span_capacity);
         Telemetry {
             config,
             inner: Mutex::new(Inner {
@@ -378,6 +462,12 @@ impl Telemetry {
                 recorded: 0,
                 dropped: 0,
                 sinks: Vec::new(),
+                spans,
+                dag_spans: BTreeMap::new(),
+                job_tracks: BTreeMap::new(),
+                job_span_ids: BTreeMap::new(),
+                slot_spans: BTreeMap::new(),
+                last_sim: SimTime::default(),
             }),
         }
     }
@@ -455,6 +545,7 @@ impl Telemetry {
             detail,
         };
         let mut inner = self.inner.lock();
+        inner.last_sim = inner.last_sim.max(sim_time);
         inner.recorded += 1;
         for sink in inner.sinks.iter_mut() {
             sink.record(&event);
@@ -487,15 +578,33 @@ impl Telemetry {
         out
     }
 
-    // ---- FSA dwell tracking ----
+    // ---- FSA dwell tracking + job span lifecycle ----
 
-    /// Note that job `job` entered FSA state `state` at `now`, recording
-    /// the dwell time of the state it left into
+    /// Note that job `job` (of DAG `dag`) entered FSA state `state` at
+    /// `now`, recording the dwell time of the state it left into
     /// `fsa.dwell_ms.<prev-state>`. Terminal states drop the tracking
     /// entry (bounded memory across long campaigns).
-    pub fn note_job_state(&self, job: u64, state: &'static str, now: SimTime) {
+    ///
+    /// This is also the span choke point for the job lifecycle: the
+    /// first non-terminal state opens the job span (under its DAG root),
+    /// every state opens a `state:<name>` dwell span, `submitted` opens
+    /// an `attempt` span linked to the previous failed attempt, and a
+    /// `ready` caused by an upstream completion carries a `link` to
+    /// `cause`'s job span (the edge critical-path extraction walks).
+    /// `site` tags site-bound states; `cause` is the job key whose
+    /// completion made this job ready, if any.
+    pub fn note_job_state(
+        &self,
+        job: u64,
+        dag: u64,
+        state: &'static str,
+        site: Option<SiteId>,
+        cause: Option<u64>,
+        now: SimTime,
+    ) {
         let terminal = matches!(state, "finished" | "eliminated");
-        let mut inner = self.inner.lock();
+        let inner = &mut *self.inner.lock();
+        inner.last_sim = inner.last_sim.max(now);
         let prev = if terminal {
             inner.job_states.remove(&job)
         } else {
@@ -509,6 +618,232 @@ impl Telemetry {
                 .or_default()
                 .record(dwell);
         }
+
+        if terminal {
+            if let Some(mut track) = inner.job_tracks.remove(&job) {
+                if let Some(s) = track.state_span.take() {
+                    inner.spans.end(s, now);
+                }
+                if let Some(a) = track.attempt_span.take() {
+                    inner.spans.end(a, now);
+                }
+                inner.spans.end(track.job_span, now);
+            }
+            if let Some(s) = inner.slot_spans.remove(&job) {
+                inner.spans.end(s, now);
+            }
+            return;
+        }
+
+        if !inner.job_tracks.contains_key(&job) {
+            let parent = inner.dag_spans.get(&dag).copied();
+            let id = inner.spans.start(
+                "job",
+                now,
+                SpanAttrs {
+                    parent,
+                    job: Some(job),
+                    dag: Some(dag),
+                    ..SpanAttrs::default()
+                },
+            );
+            inner.job_span_ids.insert(job, id);
+            inner.job_tracks.insert(
+                job,
+                JobTrack {
+                    dag,
+                    job_span: id,
+                    state_span: None,
+                    attempt_span: None,
+                    last_attempt: None,
+                    attempts: 0,
+                },
+            );
+        }
+        let Inner {
+            spans,
+            job_tracks,
+            job_span_ids,
+            ..
+        } = inner;
+        let cause_link = cause.and_then(|c| job_span_ids.get(&c).copied());
+        let Some(track) = job_tracks.get_mut(&job) else {
+            return;
+        };
+        if let Some(s) = track.state_span.take() {
+            spans.end(s, now);
+        }
+        let site = site.map(|s| s.0);
+        match state {
+            "unready" => {
+                track.state_span = Some(spans.start(
+                    "state:unready",
+                    now,
+                    SpanAttrs {
+                        parent: Some(track.job_span),
+                        job: Some(job),
+                        dag: Some(dag),
+                        ..SpanAttrs::default()
+                    },
+                ));
+            }
+            "ready" => {
+                // A live attempt span here means the attempt failed and
+                // the job came back for replanning.
+                if let Some(a) = track.attempt_span.take() {
+                    spans.end(a, now);
+                    track.last_attempt = Some(a);
+                }
+                track.state_span = Some(spans.start(
+                    "state:ready",
+                    now,
+                    SpanAttrs {
+                        parent: Some(track.job_span),
+                        job: Some(job),
+                        dag: Some(dag),
+                        attempt: Some(track.attempts),
+                        link: cause_link,
+                        ..SpanAttrs::default()
+                    },
+                ));
+            }
+            "submitted" => {
+                track.attempts += 1;
+                let attempt = spans.start(
+                    "attempt",
+                    now,
+                    SpanAttrs {
+                        parent: Some(track.job_span),
+                        job: Some(job),
+                        dag: Some(dag),
+                        site,
+                        attempt: Some(track.attempts),
+                        link: track.last_attempt,
+                        ..SpanAttrs::default()
+                    },
+                );
+                track.attempt_span = Some(attempt);
+                track.state_span = Some(spans.start(
+                    "state:submitted",
+                    now,
+                    SpanAttrs {
+                        parent: Some(attempt),
+                        job: Some(job),
+                        dag: Some(dag),
+                        site,
+                        attempt: Some(track.attempts),
+                        ..SpanAttrs::default()
+                    },
+                ));
+            }
+            "queued" | "running" => {
+                let name = if state == "queued" {
+                    "state:queued"
+                } else {
+                    "state:running"
+                };
+                track.state_span = Some(spans.start(
+                    name,
+                    now,
+                    SpanAttrs {
+                        parent: Some(track.attempt_span.unwrap_or(track.job_span)),
+                        job: Some(job),
+                        dag: Some(dag),
+                        site,
+                        attempt: Some(track.attempts),
+                        ..SpanAttrs::default()
+                    },
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    // ---- DAG / phase / WAL spans ----
+
+    /// Open the root span for DAG `dag` (`jobs` jobs) at `now`.
+    pub fn dag_span_start(&self, dag: u64, jobs: usize, now: SimTime) {
+        let inner = &mut *self.inner.lock();
+        inner.last_sim = inner.last_sim.max(now);
+        let id = inner.spans.start(
+            "dag",
+            now,
+            SpanAttrs {
+                dag: Some(dag),
+                detail: format!("jobs={jobs}"),
+                ..SpanAttrs::default()
+            },
+        );
+        inner.dag_spans.insert(dag, id);
+    }
+
+    /// Close DAG `dag`'s root span at `now` (every job reached a
+    /// terminal state).
+    pub fn dag_span_end(&self, dag: u64, now: SimTime) {
+        let inner = &mut *self.inner.lock();
+        inner.last_sim = inner.last_sim.max(now);
+        if let Some(id) = inner.dag_spans.remove(&dag) {
+            inner.spans.end(id, now);
+        }
+    }
+
+    /// Open a root span (planner phases: `phase:reduce`, `phase:plan`,
+    /// …) at `now`.
+    pub fn span_start(&self, name: &'static str, now: SimTime) -> SpanId {
+        let inner = &mut *self.inner.lock();
+        inner.last_sim = inner.last_sim.max(now);
+        inner.spans.start(name, now, SpanAttrs::default())
+    }
+
+    /// Close a span opened with [`Telemetry::span_start`].
+    pub fn span_end(&self, id: SpanId, now: SimTime) {
+        let inner = &mut *self.inner.lock();
+        inner.last_sim = inner.last_sim.max(now);
+        inner.spans.end(id, now);
+    }
+
+    /// Record a zero-duration root span stamped with the latest sim time
+    /// the hub has seen. For layers without a sim clock of their own
+    /// (WAL replay/checkpoint in `sphinx-db`).
+    pub fn span_instant(&self, name: &'static str, detail: String) -> SpanId {
+        let inner = &mut *self.inner.lock();
+        let now = inner.last_sim;
+        let id = inner.spans.start(
+            name,
+            now,
+            SpanAttrs {
+                detail,
+                ..SpanAttrs::default()
+            },
+        );
+        inner.spans.end(id, now);
+        id
+    }
+
+    /// Every span recorded so far: finished spans in end order, then
+    /// live spans by id (deterministic for a deterministic run).
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.lock().spans.spans()
+    }
+
+    /// Run the post-run analyzer over the current span graph: one
+    /// critical path per DAG plus the `top_n` slowest jobs, with the
+    /// span-store self-accounting counters filled in.
+    pub fn analyze(&self, top_n: usize) -> TraceAnalysis {
+        let (spans, total, live, dropped) = {
+            let inner = self.inner.lock();
+            (
+                inner.spans.spans(),
+                inner.spans.total(),
+                inner.spans.live(),
+                inner.spans.dropped(),
+            )
+        };
+        let mut out = SpanGraph::new(spans).analyze(top_n);
+        out.spans_total = total;
+        out.spans_live = live;
+        out.spans_dropped = dropped;
+        out
     }
 
     // ---- grid per-site hooks ----
@@ -520,8 +855,22 @@ impl Telemetry {
         });
     }
 
-    /// SPHINX job dispatched onto a CPU at `site`.
+    /// SPHINX job entered `site`'s batch queue (after staging). Opens
+    /// the `slot:queued` span — queue-wait within the batch system.
+    pub fn grid_queued(&self, site: SiteId, job: u64, now: SimTime) {
+        let inner = &mut *self.inner.lock();
+        inner.last_sim = inner.last_sim.max(now);
+        *inner.counters.entry("grid.queues").or_insert(0) += 1;
+        Telemetry::slot_open(inner, "slot:queued", site, job, now);
+    }
+
+    /// SPHINX job dispatched onto a CPU at `site`. Closes `slot:queued`
+    /// and opens `slot:run` — one span per batch-slot occupancy.
     pub fn grid_start(&self, site: SiteId, job: u64, now: SimTime) {
+        {
+            let inner = &mut *self.inner.lock();
+            Telemetry::slot_open(inner, "slot:run", site, job, now);
+        }
         self.site_event(TraceKind::GridStart, "grid.starts", site, job, now, |t| {
             t.starts += 1
         });
@@ -529,6 +878,7 @@ impl Telemetry {
 
     /// SPHINX job completed at `site`.
     pub fn grid_complete(&self, site: SiteId, job: u64, now: SimTime) {
+        self.slot_close(job, now);
         self.site_event(
             TraceKind::GridComplete,
             "grid.completions",
@@ -541,6 +891,7 @@ impl Telemetry {
 
     /// SPHINX job held or killed at `site`.
     pub fn grid_hold(&self, site: SiteId, job: u64, now: SimTime) {
+        self.slot_close(job, now);
         self.site_event(TraceKind::GridHold, "grid.holds", site, job, now, |t| {
             t.holds += 1
         });
@@ -548,9 +899,50 @@ impl Telemetry {
 
     /// Client cancelled a submission at `site`.
     pub fn grid_cancel(&self, site: SiteId, job: u64, now: SimTime) {
+        self.slot_close(job, now);
         self.site_event(TraceKind::GridCancel, "grid.cancels", site, job, now, |t| {
             t.cancels += 1
         });
+    }
+
+    /// Close any open slot span for `job` and open `name` in its place,
+    /// parented under the job's live attempt span when one exists (grid
+    /// unit tests feed tags the server never planned — those become
+    /// root slot spans).
+    fn slot_open(inner: &mut Inner, name: &'static str, site: SiteId, job: u64, now: SimTime) {
+        inner.last_sim = inner.last_sim.max(now);
+        let Inner {
+            spans,
+            job_tracks,
+            slot_spans,
+            ..
+        } = inner;
+        if let Some(prev) = slot_spans.remove(&job) {
+            spans.end(prev, now);
+        }
+        let track = job_tracks.get(&job);
+        let id = spans.start(
+            name,
+            now,
+            SpanAttrs {
+                parent: track.map(|t| t.attempt_span.unwrap_or(t.job_span)),
+                job: Some(job),
+                dag: track.map(|t| t.dag),
+                site: Some(site.0),
+                attempt: track.map(|t| t.attempts),
+                ..SpanAttrs::default()
+            },
+        );
+        slot_spans.insert(job, id);
+    }
+
+    /// Close the open slot span for `job`, if any.
+    fn slot_close(&self, job: u64, now: SimTime) {
+        let inner = &mut *self.inner.lock();
+        inner.last_sim = inner.last_sim.max(now);
+        if let Some(id) = inner.slot_spans.remove(&job) {
+            inner.spans.end(id, now);
+        }
     }
 
     fn site_event(
@@ -576,12 +968,20 @@ impl Telemetry {
     /// (wall-clock metrics are opt-in and default off).
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let inner = self.inner.lock();
+        let mut counters: BTreeMap<String, u64> = inner
+            .counters
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), *v))
+            .collect();
+        // Self-accounting: surface ring and span-store health as
+        // ordinary counters so every exporter carries them.
+        counters.insert("telemetry.trace.recorded".to_owned(), inner.recorded);
+        counters.insert("telemetry.trace.dropped".to_owned(), inner.dropped);
+        counters.insert("telemetry.spans.total".to_owned(), inner.spans.total());
+        counters.insert("telemetry.spans.live".to_owned(), inner.spans.live());
+        counters.insert("telemetry.spans.dropped".to_owned(), inner.spans.dropped());
         TelemetrySnapshot {
-            counters: inner
-                .counters
-                .iter()
-                .map(|(k, v)| ((*k).to_owned(), *v))
-                .collect(),
+            counters,
             gauges: inner
                 .gauges
                 .iter()
@@ -595,6 +995,9 @@ impl Telemetry {
             sites: inner.sites.clone(),
             trace_recorded: inner.recorded,
             trace_dropped: inner.dropped,
+            spans_total: inner.spans.total(),
+            spans_live: inner.spans.live(),
+            spans_dropped: inner.spans.dropped(),
         }
     }
 }
@@ -628,6 +1031,15 @@ pub struct TelemetrySnapshot {
     pub trace_recorded: u64,
     /// Trace events dropped from the ring buffer (capacity overflow).
     pub trace_dropped: u64,
+    /// Spans ever started.
+    #[serde(default)]
+    pub spans_total: u64,
+    /// Spans still live at snapshot time.
+    #[serde(default)]
+    pub spans_live: u64,
+    /// Finished spans evicted from the bounded span store.
+    #[serde(default)]
+    pub spans_dropped: u64,
 }
 
 impl TelemetrySnapshot {
@@ -687,25 +1099,120 @@ mod tests {
     #[test]
     fn dwell_tracking_measures_previous_state() {
         let tel = Telemetry::new();
-        tel.note_job_state(7, "ready", t(0));
-        tel.note_job_state(7, "submitted", t(10));
-        tel.note_job_state(7, "queued", t(12));
-        tel.note_job_state(7, "running", t(40));
-        tel.note_job_state(7, "finished", t(100));
+        tel.note_job_state(7, 0, "ready", None, None, t(0));
+        tel.note_job_state(7, 0, "submitted", Some(SiteId(2)), None, t(10));
+        tel.note_job_state(7, 0, "queued", Some(SiteId(2)), None, t(12));
+        tel.note_job_state(7, 0, "running", Some(SiteId(2)), None, t(40));
+        tel.note_job_state(7, 0, "finished", Some(SiteId(2)), None, t(100));
         let snap = tel.snapshot();
         assert_eq!(snap.histograms["fsa.dwell_ms.ready"].sum, 10_000.0);
         assert_eq!(snap.histograms["fsa.dwell_ms.submitted"].sum, 2_000.0);
         assert_eq!(snap.histograms["fsa.dwell_ms.queued"].sum, 28_000.0);
         assert_eq!(snap.histograms["fsa.dwell_ms.running"].sum, 60_000.0);
-        // Terminal state dropped the tracking entry.
+        // Terminal state dropped the tracking entries (dwell and spans).
         assert_eq!(tel.inner.lock().job_states.len(), 0);
+        assert_eq!(tel.inner.lock().job_tracks.len(), 0);
+    }
+
+    #[test]
+    fn job_lifecycle_builds_a_connected_span_tree() {
+        let tel = Telemetry::new();
+        tel.dag_span_start(3, 1, t(0));
+        let job = (3u64 << 24) | 1;
+        tel.note_job_state(job, 3, "unready", None, None, t(0));
+        tel.note_job_state(job, 3, "ready", None, Some(999), t(5));
+        tel.note_job_state(job, 3, "submitted", Some(SiteId(1)), None, t(6));
+        tel.grid_queued(SiteId(1), job, t(7));
+        tel.grid_start(SiteId(1), job, t(8));
+        tel.note_job_state(job, 3, "queued", Some(SiteId(1)), None, t(7));
+        tel.note_job_state(job, 3, "running", Some(SiteId(1)), None, t(8));
+        tel.grid_complete(SiteId(1), job, t(20));
+        tel.note_job_state(job, 3, "finished", Some(SiteId(1)), None, t(21));
+        tel.dag_span_end(3, t(21));
+        let spans = tel.spans();
+        let graph = SpanGraph::new(spans.clone());
+        assert!(graph.validate().is_empty(), "{:?}", graph.validate());
+        // dag + job + attempt + 5 states + 2 slots.
+        assert_eq!(spans.len(), 10);
+        assert!(spans.iter().all(|s| s.end.is_some()));
+        let slot_run = spans.iter().find(|s| s.name == "slot:run").unwrap();
+        let attempt = spans.iter().find(|s| s.name == "attempt").unwrap();
+        assert_eq!(slot_run.parent, Some(attempt.id));
+        assert_eq!(slot_run.site, Some(1));
+        assert_eq!(slot_run.duration_ms(), 12_000);
+        // Cause key 999 was never seen → no dangling link.
+        let ready = spans.iter().find(|s| s.name == "state:ready").unwrap();
+        assert_eq!(ready.link, None);
+    }
+
+    #[test]
+    fn replanned_job_gets_new_attempt_linked_to_old() {
+        let tel = Telemetry::new();
+        tel.dag_span_start(0, 1, t(0));
+        tel.note_job_state(8, 0, "ready", None, None, t(0));
+        tel.note_job_state(8, 0, "submitted", Some(SiteId(4)), None, t(1));
+        tel.note_job_state(8, 0, "queued", Some(SiteId(4)), None, t(2));
+        // Site dies; job goes back to ready, then is replanned elsewhere.
+        tel.note_job_state(8, 0, "ready", None, None, t(10));
+        tel.note_job_state(8, 0, "submitted", Some(SiteId(5)), None, t(11));
+        tel.note_job_state(8, 0, "running", Some(SiteId(5)), None, t(12));
+        tel.note_job_state(8, 0, "finished", Some(SiteId(5)), None, t(30));
+        let spans = tel.spans();
+        let attempts: Vec<&Span> = spans.iter().filter(|s| s.name == "attempt").collect();
+        assert_eq!(attempts.len(), 2);
+        let first = attempts.iter().find(|s| s.attempt == Some(1)).unwrap();
+        let second = attempts.iter().find(|s| s.attempt == Some(2)).unwrap();
+        assert_eq!(first.site, Some(4));
+        assert_eq!(first.end, Some(t(10)), "old attempt closed at re-ready");
+        assert_eq!(second.link, Some(first.id), "new attempt links old");
+        // The re-ready span is tagged with attempt 1 (fault recovery).
+        let re_ready = spans
+            .iter()
+            .find(|s| s.name == "state:ready" && s.attempt == Some(1))
+            .unwrap();
+        assert_eq!(re_ready.duration_ms(), 1_000);
+    }
+
+    #[test]
+    fn snapshot_carries_span_accounting_counters() {
+        let tel = Telemetry::with_config(TelemetryConfig {
+            trace_capacity: 8,
+            span_capacity: 2,
+            wall_clock: false,
+        });
+        for i in 0..4 {
+            let id = tel.span_start("phase:plan", t(i));
+            tel.span_end(id, t(i));
+        }
+        let open = tel.span_start("phase:track", t(9));
+        let snap = tel.snapshot();
+        assert_eq!(snap.spans_total, 5);
+        assert_eq!(snap.spans_live, 1);
+        assert_eq!(snap.spans_dropped, 2);
+        assert_eq!(snap.counter("telemetry.spans.total"), 5);
+        assert_eq!(snap.counter("telemetry.spans.live"), 1);
+        assert_eq!(snap.counter("telemetry.spans.dropped"), 2);
+        assert_eq!(snap.counter("telemetry.trace.dropped"), 0);
+        tel.span_end(open, t(10));
+    }
+
+    #[test]
+    fn span_instant_uses_latest_sim_time() {
+        let tel = Telemetry::new();
+        tel.trace(TraceKind::PlanCycle, t(33), None, None, String::new());
+        tel.span_instant("wal:checkpoint", "lines=12".to_owned());
+        let spans = tel.spans();
+        let wal = spans.iter().find(|s| s.name == "wal:checkpoint").unwrap();
+        assert_eq!(wal.start, t(33));
+        assert_eq!(wal.end, Some(t(33)));
+        assert_eq!(wal.detail, "lines=12");
     }
 
     #[test]
     fn ring_buffer_caps_and_counts_drops() {
         let tel = Telemetry::with_config(TelemetryConfig {
             trace_capacity: 2,
-            wall_clock: false,
+            ..TelemetryConfig::default()
         });
         for i in 0..5u64 {
             tel.trace(TraceKind::PlanCycle, t(i), None, None, String::new());
@@ -724,7 +1231,7 @@ mod tests {
     fn sinks_see_every_event_even_past_capacity() {
         let tel = Telemetry::with_config(TelemetryConfig {
             trace_capacity: 1,
-            wall_clock: false,
+            ..TelemetryConfig::default()
         });
         let (sink, handle) = InMemorySink::new();
         tel.add_sink(Box::new(sink));
@@ -824,7 +1331,7 @@ mod tests {
         let run = || {
             let tel = Telemetry::new();
             for i in 0..50u64 {
-                tel.note_job_state(i % 7, "queued", t(i));
+                tel.note_job_state(i % 7, 0, "queued", Some(SiteId((i % 3) as u32)), None, t(i));
                 tel.grid_submit(SiteId((i % 3) as u32), i, t(i));
             }
             (tel.trace_jsonl(), tel.snapshot())
@@ -833,5 +1340,95 @@ mod tests {
         let (jb, sb) = run();
         assert_eq!(ja, jb, "trace bytes must match");
         assert_eq!(sa, sb, "snapshots must match");
+    }
+
+    #[test]
+    fn hand_rolled_json_line_matches_serde_encoding() {
+        let events = [
+            TraceEvent {
+                sim_time: t(0),
+                kind: TraceKind::MonitorSample,
+                job: None,
+                site: None,
+                detail: "sampled=3 lost=1".to_owned(),
+            },
+            TraceEvent {
+                sim_time: t(77),
+                kind: TraceKind::JobQueued,
+                job: Some(u64::MAX),
+                site: Some(14),
+                detail: "quote\" slash\\ ctrl\n".to_owned(),
+            },
+        ];
+        for event in events {
+            let hand = event.to_json_line();
+            let serde = serde_json::to_string(&event).unwrap();
+            assert_eq!(hand, serde, "hand-rolled encoding drifted from serde");
+            let back: TraceEvent = serde_json::from_str(&hand).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_buffered_writer_on_flush_and_drop() {
+        // A writer that only publishes on flush — unlike BufWriter it
+        // does NOT flush itself on drop, so the sink's own Drop impl is
+        // what is under test.
+        struct FlushGated {
+            pending: Vec<u8>,
+            out: Arc<Mutex<Vec<u8>>>,
+        }
+        impl Write for FlushGated {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.pending.extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.out.lock().extend_from_slice(&self.pending);
+                self.pending.clear();
+                Ok(())
+            }
+        }
+
+        // flush_sinks must reach the underlying writer through a small
+        // BufWriter.
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let gated = FlushGated {
+            pending: Vec::new(),
+            out: Arc::clone(&out),
+        };
+        let tel = Telemetry::new();
+        tel.add_sink(Box::new(JsonlSink::new(std::io::BufWriter::with_capacity(
+            16, gated,
+        ))));
+        tel.trace(TraceKind::PlanCycle, t(1), None, None, String::new());
+        assert!(out.lock().is_empty(), "nothing published before flush");
+        tel.flush_sinks();
+        assert_eq!(
+            String::from_utf8(out.lock().clone())
+                .unwrap()
+                .lines()
+                .count(),
+            1,
+            "flush_sinks flushes through BufWriter to the device"
+        );
+
+        // Dropping the hub (without flush_sinks) must not truncate.
+        let out2 = Arc::new(Mutex::new(Vec::new()));
+        let gated2 = FlushGated {
+            pending: Vec::new(),
+            out: Arc::clone(&out2),
+        };
+        {
+            let tel = Telemetry::new();
+            tel.add_sink(Box::new(JsonlSink::new(std::io::BufWriter::with_capacity(
+                16, gated2,
+            ))));
+            tel.trace(TraceKind::PlanCycle, t(2), None, None, String::new());
+            tel.trace(TraceKind::PlanCycle, t(3), None, None, String::new());
+            assert!(out2.lock().is_empty());
+        }
+        let text = String::from_utf8(out2.lock().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2, "drop flushed every buffered line");
     }
 }

@@ -99,6 +99,10 @@ pub struct Scenario {
     /// Record `wall.*` host-clock metrics (planner-cycle latency). Off by
     /// default: the deterministic profile never touches the host clock.
     pub wall_clock_telemetry: bool,
+    /// Override the telemetry trace-ring / finished-span capacities
+    /// (`None` keeps the defaults); tests use tiny values to exercise
+    /// the overflow accounting.
+    pub telemetry_capacities: Option<(usize, usize)>,
 }
 
 impl Scenario {
@@ -187,6 +191,10 @@ impl Scenario {
             ..RuntimeConfig::default()
         };
         config.telemetry.wall_clock = self.wall_clock_telemetry;
+        if let Some((trace, span)) = self.telemetry_capacities {
+            config.telemetry.trace_capacity = trace;
+            config.telemetry.span_capacity = span;
+        }
         let mut rt = SphinxRuntime::with_database(grid, config, db);
         if let Some(quota) = self.quota {
             let policy = rt.server_mut().policy_mut();
@@ -238,6 +246,7 @@ impl Default for ScenarioBuilder {
                 archive_site: None,
                 deadline_last: None,
                 wall_clock_telemetry: false,
+                telemetry_capacities: None,
             },
         }
     }
@@ -328,6 +337,13 @@ impl ScenarioBuilder {
     /// planner-cycle latency histogram). Leave off for deterministic runs.
     pub fn wall_clock_telemetry(mut self, enabled: bool) -> Self {
         self.scenario.wall_clock_telemetry = enabled;
+        self
+    }
+
+    /// Cap the telemetry trace ring and finished-span store (tests use
+    /// tiny values to force overflow and check the drop accounting).
+    pub fn telemetry_capacities(mut self, trace: usize, span: usize) -> Self {
+        self.scenario.telemetry_capacities = Some((trace, span));
         self
     }
 

@@ -7,12 +7,16 @@
 //! diverge. This is the regression fence around "no wall-clock reads on
 //! the sim path".
 
-use sphinx::telemetry::TelemetrySnapshot;
+use sphinx::core::report::RunReport;
+use sphinx::core::runtime::SphinxRuntime;
+use sphinx::telemetry::{
+    chrome_trace_json, prometheus_text, validate_prometheus, SpanGraph, TelemetrySnapshot,
+};
 use sphinx::workloads::{FaultPlan, Scenario};
 
-/// One full faulty-grid run: the trace as canonical JSONL plus the
-/// snapshot attached to the run report.
-fn run_once(seed: u64) -> (String, TelemetrySnapshot) {
+/// One full faulty-grid run, returning the runtime (for span access) and
+/// the report.
+fn run_full(seed: u64) -> (SphinxRuntime, RunReport) {
     let scenario = Scenario::builder()
         .seed(seed)
         .faults(FaultPlan::grid3_typical())
@@ -25,6 +29,13 @@ fn run_once(seed: u64) -> (String, TelemetrySnapshot) {
         "scenario must finish: {}",
         report.summary()
     );
+    (rt, report)
+}
+
+/// One full faulty-grid run: the trace as canonical JSONL plus the
+/// snapshot attached to the run report.
+fn run_once(seed: u64) -> (String, TelemetrySnapshot) {
+    let (rt, report) = run_full(seed);
     (rt.telemetry().trace_jsonl(), report.telemetry)
 }
 
@@ -106,6 +117,148 @@ fn snapshot_covers_every_pipeline_layer() {
     assert!(
         snap.sites.values().any(|t| t.completions > 0),
         "some site must show completions"
+    );
+}
+
+#[test]
+fn span_graph_is_structurally_sound() {
+    let (rt, report) = run_full(7);
+    let spans = rt.telemetry().spans();
+    assert!(!spans.is_empty(), "run must record spans");
+    let graph = SpanGraph::new(spans.clone());
+    let problems = graph.validate();
+    assert!(problems.is_empty(), "span graph unsound: {problems:?}");
+    // Every job span sits under its DAG's root span, every finished span
+    // ends no earlier than it starts, and parents outlive children —
+    // validate() covers all three; spot-check the taxonomy on top.
+    for span in &spans {
+        assert!(
+            span.name == "dag"
+                || span.name == "job"
+                || span.name == "attempt"
+                || span.name.starts_with("state:")
+                || span.name.starts_with("slot:")
+                || span.name.starts_with("phase:")
+                || span.name.starts_with("wal:"),
+            "unknown span name {}",
+            span.name
+        );
+    }
+    // ISSUE acceptance: nothing dropped at default capacity, and the
+    // analysis carries the same accounting.
+    assert_eq!(report.telemetry.spans_dropped, 0);
+    assert_eq!(report.analysis.spans_dropped, 0);
+    assert_eq!(report.analysis.spans_total, spans.len() as u64);
+}
+
+#[test]
+fn same_seed_twice_produces_identical_chrome_trace_and_critical_paths() {
+    let (rt_a, report_a) = run_full(7);
+    let (rt_b, report_b) = run_full(7);
+    let chrome_a = chrome_trace_json(&rt_a.telemetry().spans());
+    let chrome_b = chrome_trace_json(&rt_b.telemetry().spans());
+    assert!(!chrome_a.is_empty());
+    assert_eq!(
+        chrome_a, chrome_b,
+        "same-seed Chrome traces must be byte-identical"
+    );
+    assert!(
+        !report_a.analysis.critical_paths.is_empty(),
+        "finished DAGs must have critical paths"
+    );
+    assert_eq!(
+        report_a.analysis, report_b.analysis,
+        "same-seed critical-path analyses must be identical"
+    );
+    // The path is a causal chain, so consecutive steps never overlap and
+    // its total never exceeds the DAG's makespan.
+    for path in &report_a.analysis.critical_paths {
+        assert!(!path.jobs.is_empty());
+        assert!(path.path_ms <= path.makespan_ms, "{path:?}");
+        for pair in path.steps.windows(2) {
+            assert!(pair[0].start_ms <= pair[1].start_ms, "{path:?}");
+        }
+    }
+}
+
+#[test]
+fn fault_injection_links_replanned_attempts() {
+    // Deterministic search: the first seed whose faulty run replans at
+    // least one job is fixed for a given codebase, so the assertions
+    // below always run against the same trace.
+    let (rt, report) = (7..32)
+        .map(run_full)
+        .find(|(_, report)| report.timeouts + report.holds > 0)
+        .expect("some seed in 7..32 must hit a fault");
+    assert!(report.finished);
+    let spans = rt.telemetry().spans();
+    let graph = SpanGraph::new(spans.clone());
+    assert!(graph.validate().is_empty());
+    let replans: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "attempt" && s.attempt.unwrap_or(0) >= 2)
+        .collect();
+    assert!(
+        !replans.is_empty(),
+        "a replanned job must get a new attempt span"
+    );
+    for attempt in replans {
+        let prev = attempt
+            .link
+            .and_then(|id| spans.iter().find(|s| s.id == id))
+            .unwrap_or_else(|| panic!("attempt span {attempt:?} must link its predecessor"));
+        assert_eq!(prev.name, "attempt");
+        assert_eq!(prev.job, attempt.job, "link must stay within the job");
+        assert_eq!(
+            prev.attempt.map(|a| a + 1),
+            attempt.attempt,
+            "link must point at the immediately preceding attempt"
+        );
+        assert!(prev.id < attempt.id, "links point backwards in time");
+    }
+}
+
+#[test]
+fn prometheus_export_validates() {
+    let (_, report) = run_full(7);
+    let text = prometheus_text(&report.telemetry);
+    validate_prometheus(&text).expect("exposition must parse");
+    assert!(text.contains("# TYPE sphinx_plan_cycles counter"));
+    assert!(text.contains("sphinx_site_completions{site="));
+    assert!(text.contains("_bucket{le=\"+Inf\"}"));
+}
+
+#[test]
+fn tiny_capacities_overflow_and_are_counted() {
+    let scenario = Scenario::builder()
+        .seed(7)
+        .faults(FaultPlan::grid3_typical())
+        .dags(2, 8)
+        .telemetry_capacities(8, 8)
+        .build();
+    let mut rt = scenario.build_runtime();
+    let report = rt.run();
+    assert!(report.finished);
+    assert!(
+        report.telemetry.trace_dropped > 0,
+        "an 8-slot ring must overflow"
+    );
+    assert!(
+        report.telemetry.spans_dropped > 0,
+        "an 8-slot span store must overflow"
+    );
+    assert_eq!(
+        report.analysis.spans_dropped, report.telemetry.spans_dropped,
+        "snapshot and analysis must agree on the drop count"
+    );
+    // The synthesized self-accounting counters agree too.
+    assert_eq!(
+        report.telemetry.counter("telemetry.spans.dropped"),
+        report.telemetry.spans_dropped
+    );
+    assert_eq!(
+        report.telemetry.counter("telemetry.trace.dropped"),
+        report.telemetry.trace_dropped
     );
 }
 
