@@ -22,9 +22,21 @@ pub const UNSEEDED_RNG: &str = "unseeded-rng";
 pub const FS_READ: &str = "fs-read";
 /// Rule: environment-variable reads.
 pub const ENV_READ: &str = "env-read";
+/// Rule: OS-thread spawning (`thread::spawn`, `thread::scope`). Thread
+/// interleaving is nondeterministic; only the bench harness may fan out
+/// (its `parallel_map` merges results in input order), so the sim crates
+/// get this rule and the bench crate does not.
+pub const THREAD: &str = "thread-spawn";
 
 /// Every determinism rule, for `--help` and the fixture tests.
-pub const ALL_RULES: &[&str] = &[WALL_CLOCK, MAP_ITER, UNSEEDED_RNG, FS_READ, ENV_READ];
+pub const ALL_RULES: &[&str] = &[
+    WALL_CLOCK,
+    MAP_ITER,
+    UNSEEDED_RNG,
+    FS_READ,
+    ENV_READ,
+    THREAD,
+];
 
 /// Scan one file with the full rule set.
 pub fn check(file: &SourceFile) -> Vec<Finding> {
@@ -111,6 +123,14 @@ pub fn scan(file: &SourceFile, rules: &[&str]) -> Vec<Finding> {
                 "`read_to_string` is an ambient filesystem read inside a sim-facing crate"
                     .to_owned(),
             ),
+            "thread" if next_is(1, "::") && matches!(ident_at(2), Some("spawn" | "scope")) => emit(
+                THREAD,
+                t.line,
+                format!(
+                    "`thread::{}` introduces nondeterministic interleaving; fan out only in the bench harness",
+                    ident_at(2).unwrap_or_default()
+                ),
+            ),
             "env" if next_is(1, "::") && matches!(ident_at(2), Some("var" | "var_os" | "vars")) => {
                 emit(
                     ENV_READ,
@@ -151,6 +171,8 @@ mod tests {
             ("let s = File::open(p)?;", FS_READ),
             ("let s = std::fs::read_to_string(p)?;", FS_READ),
             ("let v = std::env::var(\"X\");", ENV_READ),
+            ("let h = thread::spawn(f);", THREAD),
+            ("std::thread::scope(|s| run(s));", THREAD),
         ];
         for (src, rule) in cases {
             let findings = check(&lex(src));

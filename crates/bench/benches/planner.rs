@@ -77,6 +77,7 @@ fn bench_plan_cycle(c: &mut Criterion) {
                             feedback: true,
                             policy_enabled: false,
                             archive_site: None,
+                            score_cache: true,
                         },
                     );
                     let dag = WorkloadSpec {

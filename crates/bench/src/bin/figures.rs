@@ -10,8 +10,8 @@
 //! Results are printed as tables and written to `results/<id>.json`.
 
 use sphinx_bench::{
-    aggregate, jobs_vs_speed_correlation, render_site_table, render_svg_value_bars, render_table,
-    run_trials, scale, write_json, write_svg, Aggregate,
+    aggregate, jobs_vs_speed_correlation, planner, render_site_table, render_svg_value_bars,
+    render_table, run_trials, scale, write_json, write_svg, Aggregate,
 };
 use sphinx_policy::Requirement;
 use sphinx_sim::Duration;
@@ -95,6 +95,34 @@ fn emit(opts: &Options, id: &str, title: &str, rows: &[Aggregate]) {
     print!("{}", render_table(title, rows));
     write_json(&opts.results_dir, id, &rows).expect("write results");
     write_svg(&opts.results_dir, id, title, rows).expect("write charts");
+}
+
+/// Compare a fresh planner sweep against the committed
+/// `BENCH_planner.json` baseline: any size whose cached
+/// `plan_cycle_mean_us` regressed by more than 25% fails the run.
+fn planner_regressions(bench: &planner::PlannerBench) -> Vec<String> {
+    let Ok(old) = std::fs::read_to_string("BENCH_planner.json") else {
+        return Vec::new(); // no committed baseline yet
+    };
+    let Ok(baseline) = serde_json::from_str::<planner::PlannerBench>(&old) else {
+        return vec!["BENCH_planner.json exists but does not parse".to_owned()];
+    };
+    let mut out = Vec::new();
+    for point in &bench.points {
+        let Some(base) = baseline.points.iter().find(|p| p.label == point.label) else {
+            continue;
+        };
+        let new = point.cached.plan_cycle_mean_us;
+        let old = base.cached.plan_cycle_mean_us;
+        if old > 0.0 && new > old * 1.25 {
+            out.push(format!(
+                "{}: plan_cycle_mean_us {new:.1}us vs baseline {old:.1}us (+{:.0}%, limit 25%)",
+                point.label,
+                (new / old - 1.0) * 100.0
+            ));
+        }
+    }
+    out
 }
 
 fn main() {
@@ -269,6 +297,26 @@ fn main() {
                 for (name, v) in &snap.counters {
                     println!("{name:<28} {v}");
                 }
+                let hits = snap
+                    .counters
+                    .get("plan.score_cache.hits")
+                    .copied()
+                    .unwrap_or(0);
+                let misses = snap
+                    .counters
+                    .get("plan.score_cache.misses")
+                    .copied()
+                    .unwrap_or(0);
+                if hits + misses > 0 {
+                    println!(
+                        "planner score cache: {:.1}% hit rate, scratch buffer reused {} cycles",
+                        100.0 * hits as f64 / (hits + misses) as f64,
+                        snap.counters
+                            .get("plan.scratch.reused")
+                            .copied()
+                            .unwrap_or(0)
+                    );
+                }
                 let dwell: Vec<(String, f64)> = snap
                     .histograms
                     .iter()
@@ -360,6 +408,45 @@ fn main() {
                 let json = serde_json::to_string_pretty(&points).expect("scale serialize");
                 std::fs::write("BENCH_scale.json", json).expect("write BENCH_scale.json");
                 println!("scale sweep written to BENCH_scale.json");
+            }
+            "planner" => {
+                // Planner hot-path sweep: site scoring with the per-cycle
+                // cache off (reference) vs on (default), plus the
+                // deterministic multi-seed parallel runner timing.
+                let sizes: &[scale::SizeSpec] = if opts.quick {
+                    &scale::SIZES[..1]
+                } else {
+                    &scale::SIZES
+                };
+                let points: Vec<planner::PlannerSizePoint> = sizes
+                    .iter()
+                    .map(|size| {
+                        eprintln!("[planner] running {} ...", size.label);
+                        planner::run_size(size, seeds(&opts)[0])
+                    })
+                    .collect();
+                // The wall-clock speedup criterion needs enough seeds to
+                // keep every worker busy; sweep at least 4.
+                let sweep_seeds: Vec<u64> = (0..opts.trials.max(4) as u64)
+                    .map(|i| 1000 + 7 * i)
+                    .collect();
+                eprintln!("[planner] timing {}-seed sweep ...", sweep_seeds.len());
+                let sweep = planner::run_sweep_timing(&scale::SIZES[0], &sweep_seeds);
+                let bench = planner::PlannerBench { points, sweep };
+                print!("{}", planner::render_planner_table(&bench));
+                // Regression gate: compare against the committed baseline
+                // before overwriting it.
+                let regressions = planner_regressions(&bench);
+                write_json(&opts.results_dir, "planner", &bench).expect("write results");
+                let json = serde_json::to_string_pretty(&bench).expect("planner serialize");
+                std::fs::write("BENCH_planner.json", json).expect("write BENCH_planner.json");
+                println!("planner sweep written to BENCH_planner.json");
+                if !regressions.is_empty() {
+                    for r in &regressions {
+                        eprintln!("regression: {r}");
+                    }
+                    std::process::exit(1);
+                }
             }
             other => eprintln!("unknown experiment id `{other}` (skipped)"),
         }

@@ -1,16 +1,69 @@
 //! Shared machinery for the figure-regeneration harness.
 //!
 //! The `figures` binary runs every experiment of the paper at paper scale
-//! (multiple seeds in parallel via rayon), aggregates the runs, prints the
-//! tables and writes `results/<id>.json`. This library holds the
-//! aggregation and formatting so integration tests can exercise it.
+//! (multiple seeds fanned out across OS threads by [`parallel_map`]),
+//! aggregates the runs, prints the tables and writes `results/<id>.json`.
+//! This library holds the aggregation and formatting so integration tests
+//! can exercise it.
 
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use sphinx_workloads::experiments::SeriesPoint;
 use std::path::Path;
 
+pub mod planner;
 pub mod scale;
+
+/// Map `f` over `items` on `available_parallelism` scoped worker threads,
+/// returning results in **input order** regardless of which worker finished
+/// first or in what interleaving.
+///
+/// Determinism argument: workers pull indices from a shared atomic counter
+/// and tag each result with the index it came from; the merge places
+/// results by tag. Thread scheduling decides only *who* computes an item,
+/// never *what* is computed (each `f(&items[i])` sees the same immutable
+/// input) nor *where* the result lands. So the output is byte-identical to
+/// `items.iter().map(f).collect()` whenever `f` itself is deterministic —
+/// which every scenario run is (seeded, no wall-clock in the trace).
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index computed exactly once"))
+        .collect()
+}
 
 /// One row of an aggregated comparison table: the across-trial mean of the
 /// metrics the paper's figures plot.
@@ -41,7 +94,7 @@ pub fn run_trials(
     seeds: &[u64],
     runner: impl Fn(u64) -> Vec<SeriesPoint> + Sync,
 ) -> Vec<Aggregate> {
-    let trials: Vec<Vec<SeriesPoint>> = seeds.par_iter().map(|&s| runner(s)).collect();
+    let trials: Vec<Vec<SeriesPoint>> = parallel_map(seeds, |&s| runner(s));
     aggregate(&trials)
 }
 
@@ -364,6 +417,16 @@ mod tests {
         let svg = render_svg_bars("t<&", &rows, |r| r.avg_dag_secs);
         assert!(svg.contains("a&lt;b &amp; c"));
         assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        let parallel = parallel_map(&items, |&x| x * x + 1);
+        assert_eq!(parallel, serial);
+        assert!(parallel_map::<u64, u64>(&[], |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u64], |&x| x + 1), vec![8]);
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Planner hot-path benchmark: amortized site scoring, before vs after.
+//!
+//! Runs the same seeded scenario twice per size — once with the planner's
+//! per-cycle score cache disabled (`no_score_cache`: the reference path
+//! that rescans every site's monitoring report per ready job) and once
+//! with the cache on (the default) — and reports, per configuration:
+//!
+//! * planner-cycle latency (the `wall.plan_cycle_us` histogram),
+//! * score-cache hit/miss counts and scratch-buffer reuse,
+//! * that both configurations produced the identical schedule (the cache
+//!   is decision-invariant; `tests/planner_equivalence.rs` checks the
+//!   stronger byte-identical-trace property).
+//!
+//! A second section times a multi-seed sweep serially and through
+//! [`crate::parallel_map`], verifying the fanned-out run produces
+//! byte-identical reports in the same (scenario, seed) order.
+//!
+//! The output is machine-readable (`BENCH_planner.json`) so CI can fail
+//! on a planner-latency regression against the committed baseline.
+
+use crate::{parallel_map, scale};
+use serde::{Deserialize, Serialize};
+use sphinx_core::RunReport;
+use sphinx_workloads::Scenario;
+
+/// Metrics from one run of one planner configuration at one size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlannerConfigMetrics {
+    /// `"reference"` (score cache off) or `"cached"` (the default).
+    pub config: String,
+    /// Jobs the scheduler completed.
+    pub jobs_completed: u64,
+    /// Whether every DAG finished before the horizon.
+    pub finished: bool,
+    /// Wall-clock seconds for the whole simulated run.
+    pub run_secs: f64,
+    /// Planner cycles observed by the latency histogram.
+    pub plan_cycles: u64,
+    /// Mean planner-cycle latency, microseconds.
+    pub plan_cycle_mean_us: f64,
+    /// Worst planner-cycle latency, microseconds.
+    pub plan_cycle_max_us: f64,
+    /// Placements served by the per-cycle score cache.
+    pub score_cache_hits: u64,
+    /// Cache rebuilds (first placement of a (cycle, candidate-set) class).
+    pub score_cache_misses: u64,
+    /// Planner cycles that reused the candidate scratch buffer without
+    /// reallocating.
+    pub scratch_reused: u64,
+}
+
+/// Both planner configurations at one size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlannerSizePoint {
+    /// Size label (shared with the storage scale sweep).
+    pub label: String,
+    /// Site count.
+    pub sites: u32,
+    /// Total jobs submitted.
+    pub jobs: u32,
+    /// Score cache off: every placement rescans the candidate sites.
+    pub reference: PlannerConfigMetrics,
+    /// Score cache on (the default).
+    pub cached: PlannerConfigMetrics,
+    /// `reference.plan_cycle_mean_us / cached.plan_cycle_mean_us`.
+    pub speedup: f64,
+    /// Both configurations produced the same schedule (everything in the
+    /// report except host-clock telemetry matched).
+    pub schedule_identical: bool,
+}
+
+/// Serial vs [`parallel_map`] timing of a multi-seed sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepTiming {
+    /// Seeds swept, in the order results are merged.
+    pub seeds: Vec<u64>,
+    /// Worker threads available to the parallel run.
+    pub workers: usize,
+    /// Wall-clock seconds running the seeds one after another.
+    pub serial_secs: f64,
+    /// Wall-clock seconds fanning the seeds across scoped threads.
+    pub parallel_secs: f64,
+    /// `serial_secs / parallel_secs`.
+    pub speedup: f64,
+    /// The merged parallel results serialize byte-identically to serial.
+    pub identical: bool,
+}
+
+/// The whole planner benchmark artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlannerBench {
+    /// Reference-vs-cached latency at each size.
+    pub points: Vec<PlannerSizePoint>,
+    /// Deterministic parallel-runner timing.
+    pub sweep: SweepTiming,
+}
+
+/// Strip the host-clock-dependent parts of a report so two runs of the
+/// same schedule compare equal (`wall.*` histograms differ per run).
+fn schedule_view(report: &RunReport) -> RunReport {
+    let mut r = report.clone();
+    r.telemetry = Default::default();
+    r.analysis = Default::default();
+    r
+}
+
+fn run_case(
+    size: &scale::SizeSpec,
+    seed: u64,
+    config_label: &str,
+    no_score_cache: bool,
+) -> (PlannerConfigMetrics, RunReport) {
+    let scenario = Scenario::builder()
+        .sites(scale::scaled_catalog(size.sites))
+        .dags(size.dags, size.jobs_per_dag)
+        .seed(seed)
+        .wall_clock_telemetry(true)
+        .no_score_cache(no_score_cache)
+        .build();
+    let mut rt = scenario.build_runtime();
+    let t0 = std::time::Instant::now(); // sphinx-lint: allow(wall-clock)
+    let report = rt.run();
+    let run_secs = t0.elapsed().as_secs_f64();
+
+    let snapshot = rt.telemetry().snapshot();
+    let plan_hist = snapshot.histograms.get("wall.plan_cycle_us");
+    let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+    let metrics = PlannerConfigMetrics {
+        config: config_label.to_owned(),
+        jobs_completed: report.jobs_completed as u64,
+        finished: report.finished,
+        run_secs,
+        plan_cycles: plan_hist.map_or(0, |h| h.count),
+        plan_cycle_mean_us: plan_hist.map_or(0.0, |h| h.mean()),
+        plan_cycle_max_us: plan_hist.map_or(0.0, |h| h.max),
+        score_cache_hits: counter("plan.score_cache.hits"),
+        score_cache_misses: counter("plan.score_cache.misses"),
+        scratch_reused: counter("plan.scratch.reused"),
+    };
+    (metrics, report)
+}
+
+/// Run one size with the score cache off and on.
+pub fn run_size(size: &scale::SizeSpec, seed: u64) -> PlannerSizePoint {
+    let (reference, ref_report) = run_case(size, seed, "reference", true);
+    let (cached, cached_report) = run_case(size, seed, "cached", false);
+    let speedup = if cached.plan_cycle_mean_us > 0.0 {
+        reference.plan_cycle_mean_us / cached.plan_cycle_mean_us
+    } else {
+        0.0
+    };
+    PlannerSizePoint {
+        label: size.label.to_owned(),
+        sites: size.sites,
+        jobs: size.jobs(),
+        reference,
+        cached,
+        speedup,
+        schedule_identical: schedule_view(&ref_report) == schedule_view(&cached_report),
+    }
+}
+
+/// Time a multi-seed sweep of one mid-size scenario serially and through
+/// [`parallel_map`], and check the merged results are byte-identical.
+/// Wall-clock telemetry stays **off** here so each run is bit-reproducible
+/// and the serial/parallel artifacts can be compared as bytes.
+pub fn run_sweep_timing(size: &scale::SizeSpec, seeds: &[u64]) -> SweepTiming {
+    let run_one = |&seed: &u64| -> RunReport {
+        Scenario::builder()
+            .sites(scale::scaled_catalog(size.sites))
+            .dags(size.dags, size.jobs_per_dag)
+            .seed(seed)
+            .build()
+            .run()
+    };
+    let t0 = std::time::Instant::now(); // sphinx-lint: allow(wall-clock)
+    let serial: Vec<RunReport> = seeds.iter().map(run_one).collect();
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now(); // sphinx-lint: allow(wall-clock)
+    let parallel: Vec<RunReport> = parallel_map(seeds, run_one);
+    let parallel_secs = t1.elapsed().as_secs_f64();
+    let identical = serde_json::to_string(&serial).expect("report serialize")
+        == serde_json::to_string(&parallel).expect("report serialize");
+    SweepTiming {
+        seeds: seeds.to_vec(),
+        workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        serial_secs,
+        parallel_secs,
+        speedup: if parallel_secs > 0.0 {
+            serial_secs / parallel_secs
+        } else {
+            0.0
+        },
+        identical,
+    }
+}
+
+/// Render the sweep as a comparison table.
+pub fn render_planner_table(bench: &PlannerBench) -> String {
+    let mut out = String::new();
+    out.push_str("\n== planner — site scoring, reference vs cached\n");
+    out.push_str(&format!(
+        "{:<22} {:<10} {:>11} {:>11} {:>11} {:>11} {:>9} {:>8}\n",
+        "size", "config", "cycle (us)", "max (us)", "hits", "misses", "scratch", "same"
+    ));
+    for p in &bench.points {
+        for m in [&p.reference, &p.cached] {
+            out.push_str(&format!(
+                "{:<22} {:<10} {:>11.1} {:>11.0} {:>11} {:>11} {:>9} {:>8}\n",
+                p.label,
+                m.config,
+                m.plan_cycle_mean_us,
+                m.plan_cycle_max_us,
+                m.score_cache_hits,
+                m.score_cache_misses,
+                m.scratch_reused,
+                if p.schedule_identical { "yes" } else { "NO" },
+            ));
+        }
+        out.push_str(&format!(
+            "{:<22} {:<10} {:>10.2}x\n",
+            p.label, "speedup", p.speedup
+        ));
+    }
+    let s = &bench.sweep;
+    out.push_str(&format!(
+        "\n== planner — {}-seed sweep, serial vs {} workers\n",
+        s.seeds.len(),
+        s.workers
+    ));
+    out.push_str(&format!(
+        "serial {:.2}s, parallel {:.2}s, speedup {:.2}x, byte-identical: {}\n",
+        s.serial_secs,
+        s.parallel_secs,
+        s.speedup,
+        if s.identical { "yes" } else { "NO" },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_point_is_decision_invariant_and_cache_hits() {
+        let size = scale::SizeSpec {
+            label: "tiny",
+            sites: 4,
+            dags: 2,
+            jobs_per_dag: 8,
+        };
+        let point = run_size(&size, 3);
+        assert!(point.reference.finished && point.cached.finished);
+        assert!(
+            point.schedule_identical,
+            "score cache must not change the schedule"
+        );
+        assert_eq!(point.reference.jobs_completed, point.cached.jobs_completed);
+        // The reference path counts would-be hits/misses identically, so
+        // the telemetry counters match between the two configurations.
+        assert_eq!(
+            point.reference.score_cache_hits,
+            point.cached.score_cache_hits
+        );
+        assert_eq!(
+            point.reference.score_cache_misses,
+            point.cached.score_cache_misses
+        );
+        assert!(point.cached.scratch_reused > 0, "scratch must be reused");
+        let table = render_planner_table(&PlannerBench {
+            points: vec![point],
+            sweep: run_sweep_timing(&size, &[1, 2]),
+        });
+        assert!(table.contains("tiny"));
+    }
+
+    #[test]
+    fn sweep_timing_merges_identically() {
+        let size = scale::SizeSpec {
+            label: "tiny",
+            sites: 3,
+            dags: 1,
+            jobs_per_dag: 6,
+        };
+        let timing = run_sweep_timing(&size, &[5, 6, 7, 8]);
+        assert!(
+            timing.identical,
+            "parallel sweep must merge byte-identically"
+        );
+        assert_eq!(timing.seeds, vec![5, 6, 7, 8]);
+    }
+}

@@ -39,6 +39,14 @@ impl Prediction {
         self.by_site.get(&site).map_or(0, |a| a.count())
     }
 
+    /// Sample count and mean in one lookup (the score cache classifies
+    /// every candidate once per rebuild; this halves the map probes).
+    pub fn stats(&self, site: SiteId) -> (u64, Option<f64>) {
+        self.by_site
+            .get(&site)
+            .map_or((0, None), |a| (a.count(), a.mean()))
+    }
+
     /// Sum of observed completion times at a site, in seconds (for
     /// persistence).
     pub fn sum_secs(&self, site: SiteId) -> f64 {
@@ -79,6 +87,15 @@ mod tests {
         assert_eq!(p.average(SiteId(1)), Some(50.0));
         assert_eq!(p.samples(SiteId(0)), 2);
         assert_eq!(p.samples(SiteId(2)), 0);
+    }
+
+    #[test]
+    fn stats_combines_samples_and_average() {
+        let mut p = Prediction::new();
+        assert_eq!(p.stats(SiteId(0)), (0, None));
+        p.record(SiteId(0), Duration::from_secs(100));
+        p.record(SiteId(0), Duration::from_secs(200));
+        assert_eq!(p.stats(SiteId(0)), (2, Some(150.0)));
     }
 
     #[test]

@@ -201,6 +201,16 @@ impl Reliability {
         }
     }
 
+    /// In-place [`Reliability::reliable_subset`]: retain only reliable
+    /// sites, unless *every* site has been flagged — then the list is left
+    /// untouched (the scheduler must keep trying somewhere). Used by the
+    /// planner's scratch buffer to avoid a per-job allocation.
+    pub fn retain_reliable(&self, sites: &mut Vec<SiteId>, now: SimTime) {
+        if sites.iter().any(|&s| self.is_reliable(s, now)) {
+            sites.retain(|&s| self.is_reliable(s, now));
+        }
+    }
+
     /// Total cancellations across all sites (lifetime).
     pub fn total_cancelled(&self) -> u64 {
         self.sites.values().map(|h| h.lifetime.cancelled).sum()
@@ -304,6 +314,22 @@ mod tests {
         r.record_cancelled(SiteId(1), T0);
         // Everything flagged: fall back to the full list.
         assert_eq!(r.reliable_subset(&sites, T0), vec![SiteId(0), SiteId(1)]);
+    }
+
+    #[test]
+    fn retain_matches_subset_including_all_flagged_fallback() {
+        let mut r = Reliability::new();
+        r.record_cancelled(SiteId(0), T0);
+        let sites = vec![SiteId(0), SiteId(1), SiteId(2)];
+        let mut retained = sites.clone();
+        r.retain_reliable(&mut retained, T0);
+        assert_eq!(retained, r.reliable_subset(&sites, T0));
+        r.record_cancelled(SiteId(1), T0);
+        r.record_cancelled(SiteId(2), T0);
+        let mut retained = sites.clone();
+        r.retain_reliable(&mut retained, T0);
+        assert_eq!(retained, r.reliable_subset(&sites, T0));
+        assert_eq!(retained, sites, "all flagged: list left untouched");
     }
 
     #[test]

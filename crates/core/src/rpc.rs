@@ -324,6 +324,7 @@ mod tests {
                 feedback: false,
                 strategy: crate::strategy::StrategyKind::RoundRobin,
                 archive_site: None,
+                score_cache: true,
             },
         );
         let dag = WorkloadSpec::small(1, 4)

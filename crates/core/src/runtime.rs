@@ -64,6 +64,9 @@ pub struct RuntimeConfig {
     pub seed: u64,
     /// Telemetry hub behaviour (trace capacity, wall-clock opt-in).
     pub telemetry: TelemetryConfig,
+    /// Per-cycle planner score cache (decision-invariant; off = reference
+    /// path for the equivalence suite).
+    pub score_cache: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -80,6 +83,7 @@ impl Default for RuntimeConfig {
             horizon: Duration::from_secs(7 * 24 * 3600),
             seed: 0,
             telemetry: TelemetryConfig::default(),
+            score_cache: true,
         }
     }
 }
@@ -129,6 +133,7 @@ impl SphinxRuntime {
                 feedback: config.feedback,
                 policy_enabled: config.policy_enabled,
                 archive_site: config.archive_site,
+                score_cache: config.score_cache,
             },
         );
         server.set_telemetry(Arc::clone(&telemetry));
@@ -314,6 +319,7 @@ impl SphinxRuntime {
                 feedback: rt.config.feedback,
                 policy_enabled: rt.config.policy_enabled,
                 archive_site: rt.config.archive_site,
+                score_cache: rt.config.score_cache,
             },
         )?;
         telemetry.trace(

@@ -18,7 +18,7 @@ use crate::messages::{CancelCause, PlanNotice, StatusReport};
 use crate::prediction::Prediction;
 use crate::reliability::{FlagTransition, Reliability};
 use crate::state::{DagRow, DagState, JobRow, JobState, SiteStatsRow};
-use crate::strategy::{PlanningView, SiteInfo, StrategyKind, StrategyState};
+use crate::strategy::{PlanningView, ScoreCache, SiteInfo, StrategyKind, StrategyState};
 use sphinx_dag::{reduce, Dag, DagId, Frontier, JobId};
 use sphinx_data::{LogicalFile, ReplicaService, SiteId, TransferModel};
 use sphinx_db::Database;
@@ -45,6 +45,10 @@ pub struct ServerConfig {
     /// step 4 ("decide whether the output files must be copied to
     /// persistent storage"). `None` disables archival.
     pub archive_site: Option<SiteId>,
+    /// Use the per-cycle site scoring cache ([`ScoreCache`]). Off runs
+    /// the full-rescore reference path; decisions are identical either
+    /// way (asserted by `tests/planner_equivalence.rs`).
+    pub score_cache: bool,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +58,7 @@ impl Default for ServerConfig {
             feedback: true,
             policy_enabled: false,
             archive_site: None,
+            score_cache: true,
         }
     }
 }
@@ -82,6 +87,19 @@ impl ServerStats {
     }
 }
 
+/// In-memory planner view of one active DAG — a mirror of its [`DagRow`]
+/// (shared `Arc`, not a copy) plus derived data the planner needs per
+/// ready job. Kept in lock-step with the row: inserted on submit/recover,
+/// dropped when the DAG finishes.
+struct DagMeta {
+    dag: Arc<Dag>,
+    user: UserId,
+    deadline: Option<SimTime>,
+    /// `sinks[i]`: job `i` has no children (its output is final and gets
+    /// archived). Precomputed once — `Dag::children()` allocates O(V+E).
+    sinks: Vec<bool>,
+}
+
 /// The SPHINX server.
 pub struct SphinxServer {
     db: Arc<Database>,
@@ -93,12 +111,20 @@ pub struct SphinxServer {
     /// Jobs planned to each site and not yet finished (eq. 1/2 input).
     outstanding: BTreeMap<SiteId, u64>,
     frontiers: BTreeMap<DagId, Frontier>,
+    /// Planner-side mirror of active DAG rows (see [`DagMeta`]).
+    dag_meta: BTreeMap<DagId, DagMeta>,
     strategy_state: StrategyState,
+    /// Per-cycle site-ranking memo (the planner hot path).
+    score_cache: ScoreCache,
     stats: ServerStats,
     dags_total: u64,
     dags_finished: u64,
     telemetry: Arc<Telemetry>,
     last_plan_at: Option<SimTime>,
+    /// Every catalog site id, in catalog order (catalog is immutable).
+    all_site_ids: Vec<SiteId>,
+    /// Reused per-job candidate buffer (allocated once, not per job).
+    candidates_scratch: Vec<SiteId>,
 }
 
 /// The JSON value a [`DagId`] takes at the `/id/dag` pointer of a `JobRow`
@@ -117,6 +143,7 @@ impl SphinxServer {
         db.create_index::<DagRow>("/state");
         db.create_index::<JobRow>("/state");
         db.create_index::<JobRow>("/id/dag");
+        let all_site_ids = catalog.iter().map(|s| s.id).collect();
         SphinxServer {
             db,
             config,
@@ -126,13 +153,31 @@ impl SphinxServer {
             reliability: Reliability::new(),
             outstanding: BTreeMap::new(),
             frontiers: BTreeMap::new(),
+            dag_meta: BTreeMap::new(),
             strategy_state: StrategyState::new(),
+            score_cache: ScoreCache::new(),
             stats: ServerStats::default(),
             dags_total: 0,
             dags_finished: 0,
             telemetry: Telemetry::shared(),
             last_plan_at: None,
+            all_site_ids,
+            candidates_scratch: Vec::new(),
         }
+    }
+
+    /// Mirror one active DAG into the planner's in-memory metadata.
+    fn remember_dag(&mut self, id: DagId, dag: Arc<Dag>, user: UserId, deadline: Option<SimTime>) {
+        let sinks = dag.children().iter().map(|c| c.is_empty()).collect();
+        self.dag_meta.insert(
+            id,
+            DagMeta {
+                dag,
+                user,
+                deadline,
+                sinks,
+            },
+        );
     }
 
     /// Replace the server's private telemetry hub with a shared one (the
@@ -224,6 +269,12 @@ impl SphinxServer {
                 );
             }
             // `Received` DAGs will be reduced by the next plan cycle.
+            server.remember_dag(
+                dag_row.id,
+                Arc::clone(&dag_row.dag),
+                dag_row.user,
+                dag_row.deadline,
+            );
         }
         Ok(server)
     }
@@ -274,10 +325,11 @@ impl SphinxServer {
         deadline: Option<SimTime>,
     ) -> CoreResult<()> {
         dag.validate()?;
+        let dag_shared = Arc::new(dag.clone());
         let mut txn = self.db.txn();
         txn.put(&DagRow {
             id: dag.id,
-            dag: dag.clone(),
+            dag: Arc::clone(&dag_shared),
             user,
             state: DagState::Received, // sphinx-fsa: init Received
             submitted_at: now,
@@ -288,6 +340,7 @@ impl SphinxServer {
             txn.put(&JobRow::new(job.id))?;
         }
         txn.commit()?;
+        self.remember_dag(dag.id, dag_shared, user, deadline);
         self.dags_total += 1;
         self.telemetry.counter_add("dag.submitted", 1);
         self.telemetry.trace(
@@ -320,6 +373,7 @@ impl SphinxServer {
                 d.finished_at = Some(now);
             })?;
             self.frontiers.remove(&dag_id);
+            self.dag_meta.remove(&dag_id);
             self.dags_finished += 1;
             self.telemetry.counter_add("dag.finished", 1);
             self.telemetry.trace(
@@ -682,33 +736,42 @@ impl SphinxServer {
         let mut ready: Vec<JobId> = self
             .frontiers
             .iter()
-            .flat_map(|(&dag, f)| f.ready().into_iter().map(move |i| JobId::new(dag, i)))
+            .flat_map(|(&dag, f)| f.ready_iter().map(move |i| JobId::new(dag, i)))
             .collect();
         // Planning order (QoS + §5 "policy and priorities of these jobs"):
         // earliest deadline first, then higher user priority, then stable
-        // (dag, index) order. Skipped entirely when neither deadlines nor
-        // differentiated priorities are in play.
-        let rank_of: BTreeMap<DagId, (Option<SimTime>, u32)> = self
-            .frontiers
-            .keys()
-            .map(|&d| {
-                let row = self.db.get::<DagRow>(d.0);
-                let deadline = row.as_ref().and_then(|r| r.deadline);
-                let priority = row
-                    .as_ref()
-                    .and_then(|r| self.policy.priority_of(r.user))
-                    .unwrap_or(0);
-                (d, (deadline, priority))
-            })
-            .collect();
-        let any_deadline = rank_of.values().any(|(d, _)| d.is_some());
-        let distinct_priorities = rank_of
-            .values()
-            .map(|(_, p)| *p)
-            .collect::<std::collections::BTreeSet<_>>()
-            .len()
-            > 1;
+        // (dag, index) order. Deadlines and priorities come from the
+        // in-memory DAG metadata — no row decode — and the sort keys are
+        // materialized only when the sort will actually run (most cycles
+        // have neither deadlines nor differentiated priorities).
+        let mut any_deadline = false;
+        let mut first_priority = None;
+        let mut distinct_priorities = false;
+        for &d in self.frontiers.keys() {
+            let meta = self.dag_meta.get(&d);
+            any_deadline |= meta.is_some_and(|m| m.deadline.is_some());
+            let priority = meta
+                .and_then(|m| self.policy.priority_of(m.user))
+                .unwrap_or(0);
+            match first_priority {
+                None => first_priority = Some(priority),
+                Some(p) if p != priority => distinct_priorities = true,
+                _ => {}
+            }
+        }
         if any_deadline || distinct_priorities {
+            let rank_of: BTreeMap<DagId, (Option<SimTime>, u32)> = self
+                .frontiers
+                .keys()
+                .map(|&d| {
+                    let meta = self.dag_meta.get(&d);
+                    let deadline = meta.and_then(|m| m.deadline);
+                    let priority = meta
+                        .and_then(|m| self.policy.priority_of(m.user))
+                        .unwrap_or(0);
+                    (d, (deadline, priority))
+                })
+                .collect();
             ready.sort_by_key(|j| {
                 let (deadline, priority) = rank_of.get(&j.dag).copied().unwrap_or((None, 0));
                 (
@@ -720,16 +783,18 @@ impl SphinxServer {
             });
         }
         let mut plans = Vec::new();
-        let all_sites: Vec<SiteId> = self.catalog.iter().map(|s| s.id).collect();
         // QoS fast lane: while deadline work is pending, reserve the
         // fastest-predicted site for it by steering deadline-free jobs
         // elsewhere (soft reservation — it is released the moment no
         // deadline DAG has ready work).
-        let deadline_pending = ready
-            .iter()
-            .any(|j| rank_of.get(&j.dag).is_some_and(|(d, _)| d.is_some()));
+        let deadline_pending = any_deadline
+            && ready.iter().any(|j| {
+                self.dag_meta
+                    .get(&j.dag)
+                    .is_some_and(|m| m.deadline.is_some())
+            });
         let fast_lane: Option<SiteId> = if deadline_pending {
-            all_sites
+            self.all_site_ids
                 .iter()
                 .copied()
                 .filter(|&s| self.prediction.samples(s) > 0)
@@ -744,30 +809,54 @@ impl SphinxServer {
         };
         self.telemetry.span_end(predict_span, now);
         let plan_span = self.telemetry.span_start("phase:plan", now);
+        // The monotonicity argument that makes the lazy ranking exact only
+        // holds within one plan phase; start every cycle cold.
+        self.score_cache.begin_cycle();
+        // Candidate scratch buffer: owned by the server so one allocation
+        // serves every job of every cycle.
+        let mut candidates = std::mem::take(&mut self.candidates_scratch);
+        let mut scratch_reused = 0u64;
         for job_id in ready {
-            let Some(dag_row) = self.db.get::<DagRow>(job_id.dag.0) else {
+            // Every planning input for the job's DAG comes from the
+            // in-memory mirror: no row fetch, no spec clone.
+            let Some(meta) = self.dag_meta.get(&job_id.dag) else {
                 continue;
             };
-            let spec = dag_row
-                .dag
+            let dag = Arc::clone(&meta.dag);
+            let user = meta.user;
+            let urgent = meta.deadline.is_some();
+            // Step 4 input: final outputs (nothing downstream consumes
+            // them) go to persistent storage; precomputed per DAG.
+            let is_sink = meta
+                .sinks
+                .get(job_id.index as usize)
+                .copied()
+                .unwrap_or(true);
+            let spec = dag
                 .job(job_id.index)
-                .ok_or(CoreError::Invariant("frontier index outside its dag"))?
-                .clone();
-            let requirement = Self::requirement_of(&spec);
+                .ok_or(CoreError::Invariant("frontier index outside its dag"))?;
+            let requirement = Self::requirement_of(spec);
+            if candidates.capacity() >= self.all_site_ids.len() {
+                scratch_reused += 1;
+            }
+            candidates.clear();
             // Policy filter (eq. 4) …
-            let mut candidates: Vec<SiteId> = if self.config.policy_enabled {
-                self.policy
-                    .feasible_sites(dag_row.user, requirement, &all_sites)
+            if self.config.policy_enabled {
+                candidates.extend(self.policy.feasible_sites(
+                    user,
+                    requirement,
+                    &self.all_site_ids,
+                ));
             } else {
-                all_sites.clone()
-            };
-            // … then the feedback filter.
+                candidates.extend_from_slice(&self.all_site_ids);
+            }
+            // … then the feedback filter (in place; the all-flagged
+            // fallback keeps the list intact).
             if self.config.effective_feedback() {
-                candidates = self.reliability.reliable_subset(&candidates, now);
+                self.reliability.retain_reliable(&mut candidates, now);
             }
             // … then the QoS fast-lane reservation.
             if let Some(fast) = fast_lane {
-                let urgent = rank_of.get(&job_id.dag).is_some_and(|(d, _)| d.is_some());
                 if !urgent && candidates.len() > 1 {
                     candidates.retain(|&s| s != fast);
                 }
@@ -779,16 +868,31 @@ impl SphinxServer {
                 reports,
                 prediction: &self.prediction,
             };
-            let Some(site) = self.config.strategy.choose(&view, &mut self.strategy_state) else {
+            let chosen = if self.config.score_cache {
+                self.config.strategy.choose_cached(
+                    &view,
+                    &mut self.strategy_state,
+                    &mut self.score_cache,
+                )
+            } else {
+                // Reference path: identical decisions by full rescoring;
+                // still count would-be hits/misses so telemetry snapshots
+                // match the optimized path bit for bit.
+                if !candidates.is_empty() {
+                    self.score_cache
+                        .note_reference(self.config.strategy, &candidates);
+                }
+                self.config.strategy.choose(&view, &mut self.strategy_state)
+            };
+            let Some(site) = chosen else {
                 continue; // no feasible site now; stays Ready
             };
-            let Some(staging) = Self::plan_staging(&dag_row.dag, &spec, site, rls, transfers)
-            else {
+            let Some(staging) = Self::plan_staging(&dag, spec, site, rls, transfers) else {
                 continue; // an input has no replica yet; stays Ready
             };
             // Reserve quota for the attempt.
             let reservation = if self.config.policy_enabled {
-                match self.policy.reserve(dag_row.user, site, requirement) {
+                match self.policy.reserve(user, site, requirement) {
                     Ok(r) => Some(r),
                     Err(_) => continue, // quota raced away; stays Ready
                 }
@@ -824,9 +928,6 @@ impl SphinxServer {
                 Some(site),
                 String::new(),
             );
-            // Step 4: final outputs (nothing downstream consumes them) go
-            // to persistent storage; intermediates stay where they land.
-            let is_sink = dag_row.dag.children()[job_id.index as usize].is_empty();
             let archive_to = self.config.archive_site.filter(|_| is_sink);
             plans.push(PlanNotice {
                 job: job_id,
@@ -837,6 +938,20 @@ impl SphinxServer {
                 planned_at: now,
                 archive_to,
             });
+        }
+        self.candidates_scratch = candidates;
+        let (cache_hits, cache_misses) = self.score_cache.take_counters();
+        if cache_hits > 0 {
+            self.telemetry
+                .counter_add("plan.score_cache.hits", cache_hits);
+        }
+        if cache_misses > 0 {
+            self.telemetry
+                .counter_add("plan.score_cache.misses", cache_misses);
+        }
+        if scratch_reused > 0 {
+            self.telemetry
+                .counter_add("plan.scratch.reused", scratch_reused);
         }
         self.telemetry.span_end(plan_span, now);
         Ok(plans)
@@ -892,6 +1007,7 @@ mod tests {
                 feedback: true,
                 policy_enabled: false,
                 archive_site: None,
+                score_cache: true,
             },
         )
     }
@@ -1028,6 +1144,7 @@ mod tests {
                 feedback: false,
                 policy_enabled: true,
                 archive_site: None,
+                score_cache: true,
             },
         );
         s.policy_mut()
@@ -1061,6 +1178,7 @@ mod tests {
                 feedback: false,
                 policy_enabled: true,
                 archive_site: None,
+                score_cache: true,
             },
         );
         s.submit_dag(&dag, UserId(9), SimTime::ZERO).unwrap();

@@ -151,12 +151,16 @@ impl JobState {
 
 /// Database row for a DAG. The full abstract plan is stored with the row
 /// so a recovered server can rebuild frontiers without the client.
+///
+/// The plan is held behind an `Arc` so decoded-row cache hits (and the
+/// planner, which used to re-fetch this row per ready job) share one
+/// allocation instead of cloning every `JobSpec` string.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DagRow {
     /// The DAG id (primary key).
     pub id: DagId,
-    /// The abstract plan.
-    pub dag: Dag,
+    /// The abstract plan (shared, not cloned, by readers).
+    pub dag: std::sync::Arc<Dag>,
     /// Submitting user.
     pub user: UserId,
     /// Automaton state.
@@ -314,7 +318,7 @@ mod tests {
             .remove(0);
         let row = DagRow {
             id: dag.id,
-            dag: dag.clone(),
+            dag: std::sync::Arc::new(dag.clone()),
             user: UserId(1),
             state: DagState::Received,
             submitted_at: SimTime::from_secs(10),
@@ -323,7 +327,7 @@ mod tests {
         };
         db.insert(&row).unwrap();
         let back = db.get::<DagRow>(dag.id.0).unwrap();
-        assert_eq!(back.dag, dag);
+        assert_eq!(*back.dag, dag);
         assert_eq!(back.state, DagState::Received);
 
         let jid = JobId::new(dag.id, 3);

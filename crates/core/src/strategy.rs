@@ -16,7 +16,8 @@ use crate::prediction::Prediction;
 use serde::{Deserialize, Serialize};
 use sphinx_data::SiteId;
 use sphinx_monitor::Report;
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::fmt;
 
 /// Static information about a site, from the grid catalog.
@@ -123,6 +124,231 @@ impl StrategyState {
     }
 }
 
+/// `f64` with a total order (via [`f64::total_cmp`]) so scores can live in
+/// a [`BinaryHeap`]. Scores here are never NaN, so the total order agrees
+/// with the strategies' `<` comparisons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Amortized per-cycle site-ranking cache — the planner hot path.
+///
+/// [`StrategyKind::choose`] rescores every candidate for every ready job,
+/// making one plan cycle O(jobs × sites × catalog-scan). During the plan
+/// phase of a single cycle the only scoring input that changes is
+/// `outstanding`, and it only grows (tracker reports are drained before
+/// planning), so every strategy's score for a site is non-decreasing
+/// within the phase. That makes a lazy min-heap exact: pop the stored
+/// minimum, recompute that one site's live score, and either confirm it
+/// (still minimal — scores elsewhere can only have risen) or reinsert it
+/// with the higher score and pop again. Ties break on heap position,
+/// which is candidate order, reproducing `argmin`'s stable
+/// first-minimum-wins rule bit for bit.
+///
+/// The cache is keyed on (strategy, candidate list): a job whose
+/// policy/feedback/fast-lane filtering yields a different candidate list
+/// rebuilds it (a miss); identical lists reuse it (a hit). It must be
+/// invalidated with [`ScoreCache::begin_cycle`] at every cycle start —
+/// between cycles `outstanding` may shrink and monitor/prediction data
+/// move, which would break the monotonicity argument.
+#[derive(Debug, Default)]
+pub struct ScoreCache {
+    /// Strategy + candidate list the cached structures were built for.
+    strategy: Option<StrategyKind>,
+    key: Vec<SiteId>,
+    /// CPU counts by site (replaces the per-score linear catalog scan).
+    cpus: BTreeMap<SiteId, f64>,
+    /// Lazy min-heap of (stored score, position in `ranked`).
+    heap: BinaryHeap<Reverse<(OrdF64, usize)>>,
+    /// The sites the heap ranks, in candidate order (for completion-time
+    /// this is the sampled subset; for eq. 1/2 it is all candidates).
+    ranked: Vec<SiteId>,
+    /// Completion-time probe set: unsampled sites with nothing in flight.
+    /// Shrinks monotonically within a cycle as probes are placed.
+    probeable: Vec<SiteId>,
+    /// Candidate membership for O(log n) round-robin `contains`.
+    members: BTreeSet<SiteId>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScoreCache {
+    /// An empty (invalid) cache.
+    pub fn new() -> Self {
+        ScoreCache::default()
+    }
+
+    /// Invalidate at the start of every plan cycle: the monotonicity
+    /// argument that makes the lazy heap exact only holds within one
+    /// plan phase.
+    pub fn begin_cycle(&mut self) {
+        self.strategy = None;
+        self.key.clear();
+    }
+
+    /// Drain the (hits, misses) counters accumulated since the last call.
+    pub fn take_counters(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.hits),
+            std::mem::take(&mut self.misses),
+        )
+    }
+
+    /// Count what this call would have been (hit or miss) without
+    /// consulting the cache — the `--no-score-cache` reference path runs
+    /// this so telemetry snapshots match the optimized path bit for bit.
+    pub fn note_reference(&mut self, strategy: StrategyKind, candidates: &[SiteId]) {
+        if self.strategy == Some(strategy) && self.key.as_slice() == candidates {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.strategy = Some(strategy);
+            self.key.clear();
+            self.key.extend_from_slice(candidates);
+        }
+    }
+
+    fn cpus_f(&self, site: SiteId) -> f64 {
+        self.cpus.get(&site).copied().unwrap_or(1.0)
+    }
+
+    fn rebuild(&mut self, strategy: StrategyKind, view: &PlanningView<'_>) {
+        self.misses += 1;
+        self.strategy = Some(strategy);
+        self.key.clear();
+        self.key.extend_from_slice(view.candidates);
+        self.cpus.clear();
+        for s in view.catalog {
+            self.cpus.insert(s.id, s.cpus.max(1) as f64);
+        }
+        self.members.clear();
+        self.members.extend(view.candidates.iter().copied());
+        self.heap.clear();
+        self.ranked.clear();
+        self.probeable.clear();
+        match strategy {
+            StrategyKind::RoundRobin => {}
+            StrategyKind::NumCpus | StrategyKind::QueueLength => {
+                self.ranked.extend_from_slice(view.candidates);
+            }
+            StrategyKind::CompletionTime => {
+                for &s in view.candidates {
+                    let (samples, _) = view.prediction.stats(s);
+                    if samples > 0 {
+                        self.ranked.push(s);
+                    } else if view.outstanding_of(s) == 0 {
+                        self.probeable.push(s);
+                    }
+                }
+            }
+        }
+        let ranked = std::mem::take(&mut self.ranked);
+        for (pos, &site) in ranked.iter().enumerate() {
+            let score = strategy.score(view, self.cpus_f(site), site);
+            self.heap.push(Reverse((OrdF64(score), pos)));
+        }
+        self.ranked = ranked;
+    }
+
+    /// Pop the true current minimum (lazy validation, see type docs). The
+    /// winning entry is pushed back so the next job still sees every site.
+    /// `None` only if the heap is empty (callers guarantee it is not).
+    fn pop_min(&mut self, strategy: StrategyKind, view: &PlanningView<'_>) -> Option<SiteId> {
+        loop {
+            let Reverse((stored, pos)) = self.heap.pop()?;
+            let site = *self.ranked.get(pos)?;
+            let current = strategy.score(view, self.cpus_f(site), site);
+            if current.total_cmp(&stored.0).is_eq() {
+                self.heap.push(Reverse((stored, pos)));
+                return Some(site);
+            }
+            self.heap.push(Reverse((OrdF64(current), pos)));
+        }
+    }
+}
+
+impl StrategyKind {
+    /// The scalar this strategy minimises for one site — exactly the
+    /// expressions [`StrategyKind::choose`] evaluates inline, so cached
+    /// and uncached paths compute bit-identical floats. `cpus` is the
+    /// site's (max(1)-clamped) CPU count, pre-resolved by the cache.
+    fn score(self, view: &PlanningView<'_>, cpus: f64, site: SiteId) -> f64 {
+        match self {
+            StrategyKind::RoundRobin => 0.0,
+            StrategyKind::NumCpus => view.outstanding_of(site) as f64 / cpus,
+            StrategyKind::QueueLength => {
+                let (queued, running) = view
+                    .reports
+                    .get(&site)
+                    .map(|r| (r.queued, r.running))
+                    .unwrap_or((0, 0));
+                (queued as f64 + running as f64 + view.outstanding_of(site) as f64) / cpus
+            }
+            StrategyKind::CompletionTime => {
+                let avg = view.prediction.average(site).unwrap_or(f64::INFINITY);
+                let pressure = view.outstanding_of(site) as f64 / cpus;
+                avg * (1.0 + pressure)
+            }
+        }
+    }
+
+    /// [`StrategyKind::choose`] through the [`ScoreCache`]: identical
+    /// decisions (same site for the same inputs, including tie-breaks and
+    /// round-robin cursor motion), amortized O(log sites) per job instead
+    /// of O(sites × catalog).
+    pub fn choose_cached(
+        self,
+        view: &PlanningView<'_>,
+        state: &mut StrategyState,
+        cache: &mut ScoreCache,
+    ) -> Option<SiteId> {
+        if view.candidates.is_empty() {
+            return None;
+        }
+        if cache.strategy == Some(self) && cache.key.as_slice() == view.candidates {
+            cache.hits += 1;
+        } else {
+            cache.rebuild(self, view);
+        }
+        match self {
+            StrategyKind::RoundRobin => {
+                round_robin_set(view, state, &cache.members, view.candidates)
+            }
+            StrategyKind::NumCpus | StrategyKind::QueueLength => cache.pop_min(self, view),
+            StrategyKind::CompletionTime => {
+                if cache.ranked.is_empty() {
+                    // Bootstrap: no completion-time information anywhere.
+                    return round_robin_set(view, state, &cache.members, view.candidates);
+                }
+                // `outstanding` only grows within the cycle, so dropping
+                // newly busy sites lazily keeps this list equal to a fresh
+                // recomputation (in candidate order).
+                cache.probeable.retain(|&s| view.outstanding_of(s) == 0);
+                if !cache.probeable.is_empty() {
+                    let probeable = std::mem::take(&mut cache.probeable);
+                    let pick = round_robin(view, state, &probeable);
+                    cache.probeable = probeable;
+                    return Some(pick);
+                }
+                cache.pop_min(self, view)
+            }
+        }
+    }
+}
+
 impl StrategyKind {
     /// Choose a site for one job. `None` only when `candidates` is empty.
     pub fn choose(self, view: &PlanningView<'_>, state: &mut StrategyState) -> Option<SiteId> {
@@ -200,6 +426,29 @@ fn round_robin(view: &PlanningView<'_>, state: &mut StrategyState, from: &[SiteI
     // `from` is non-empty but contains sites outside the catalog — fall
     // back to its head rather than panic.
     from[0]
+}
+
+/// [`round_robin`] with a pre-built membership set instead of a linear
+/// `contains` scan per catalog step. Same walk, same cursor motion, same
+/// fallback — only the membership test is faster. `None` only on an
+/// empty `from` (callers guarantee it is not).
+fn round_robin_set(
+    view: &PlanningView<'_>,
+    state: &mut StrategyState,
+    members: &BTreeSet<SiteId>,
+    from: &[SiteId],
+) -> Option<SiteId> {
+    let n = view.catalog.len().max(1);
+    for step in 0..n {
+        let idx = (state.cursor + step) % n;
+        if let Some(site) = view.catalog.get(idx).map(|s| s.id) {
+            if members.contains(&site) {
+                state.cursor = (idx + 1) % n;
+                return Some(site);
+            }
+        }
+    }
+    from.first().copied()
 }
 
 /// Site minimising `score`; ties go to the earlier candidate (stable).
@@ -381,6 +630,81 @@ mod tests {
         for k in StrategyKind::ALL {
             assert_eq!(k.choose(&v, &mut st), None);
         }
+    }
+
+    #[test]
+    fn cached_choose_matches_uncached_over_placement_sequences() {
+        // Simulate one plan phase: outstanding only grows, each placement
+        // bumping the chosen site, as plan_cycle does.
+        let cat = catalog(&[4, 2, 8, 1, 6]);
+        let cands: Vec<SiteId> = cat.iter().map(|s| s.id).collect();
+        let r: BTreeMap<SiteId, Report> = [report(0, 3, 1), report(2, 0, 4), report(4, 7, 0)]
+            .into_iter()
+            .collect();
+        let mut p = Prediction::new();
+        p.record(SiteId(0), Duration::from_secs(200));
+        p.record(SiteId(2), Duration::from_secs(90));
+        p.record(SiteId(3), Duration::from_secs(400));
+        for k in StrategyKind::ALL {
+            let mut o_plain = BTreeMap::new();
+            let mut o_cached = BTreeMap::new();
+            let mut st_plain = StrategyState::new();
+            let mut st_cached = StrategyState::new();
+            let mut cache = ScoreCache::new();
+            cache.begin_cycle();
+            for step in 0..20 {
+                let v = view(&cat, &cands, &o_plain, &r, &p);
+                let plain = k.choose(&v, &mut st_plain).unwrap();
+                let v = view(&cat, &cands, &o_cached, &r, &p);
+                let cached = k.choose_cached(&v, &mut st_cached, &mut cache).unwrap();
+                assert_eq!(plain, cached, "{k} diverged at placement {step}");
+                *o_plain.entry(plain).or_insert(0u64) += 1;
+                *o_cached.entry(cached).or_insert(0u64) += 1;
+            }
+            let (hits, misses) = cache.take_counters();
+            assert_eq!(misses, 1, "{k}: one rebuild per (cycle, candidate set)");
+            assert_eq!(hits, 19, "{k}: every later placement reuses the ranking");
+        }
+    }
+
+    #[test]
+    fn cache_rebuilds_when_candidates_change() {
+        let cat = catalog(&[2, 2, 2]);
+        let all: Vec<SiteId> = cat.iter().map(|s| s.id).collect();
+        let narrowed = [SiteId(1), SiteId(2)];
+        let (o, r, p) = (BTreeMap::new(), BTreeMap::new(), Prediction::new());
+        let mut st = StrategyState::new();
+        let mut cache = ScoreCache::new();
+        cache.begin_cycle();
+        let v = view(&cat, &all, &o, &r, &p);
+        StrategyKind::NumCpus.choose_cached(&v, &mut st, &mut cache);
+        let v = view(&cat, &narrowed, &o, &r, &p);
+        let pick = StrategyKind::NumCpus
+            .choose_cached(&v, &mut st, &mut cache)
+            .unwrap();
+        assert_ne!(pick, SiteId(0), "stale ranking must not leak filtered site");
+        let (hits, misses) = cache.take_counters();
+        assert_eq!((hits, misses), (0, 2));
+    }
+
+    #[test]
+    fn reference_counting_matches_cached_counting() {
+        let cat = catalog(&[2, 2]);
+        let cands: Vec<SiteId> = cat.iter().map(|s| s.id).collect();
+        let (o, r, p) = (BTreeMap::new(), BTreeMap::new(), Prediction::new());
+        let mut st = StrategyState::new();
+        let mut cached = ScoreCache::new();
+        let mut reference = ScoreCache::new();
+        for _ in 0..2 {
+            cached.begin_cycle();
+            reference.begin_cycle();
+            for _ in 0..5 {
+                let v = view(&cat, &cands, &o, &r, &p);
+                StrategyKind::QueueLength.choose_cached(&v, &mut st, &mut cached);
+                reference.note_reference(StrategyKind::QueueLength, &cands);
+            }
+        }
+        assert_eq!(cached.take_counters(), reference.take_counters());
     }
 
     #[test]

@@ -62,6 +62,17 @@ impl Frontier {
         self.ready.iter().copied().collect()
     }
 
+    /// Non-allocating view of the ready set, in index order (what the
+    /// planner walks every cycle; same order as [`Frontier::ready`]).
+    pub fn ready_iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ready.iter().copied()
+    }
+
+    /// Number of jobs ready right now.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
     /// Remove a job from the ready set (it is being planned). Returns
     /// whether it was actually ready.
     pub fn take(&mut self, job: u32) -> bool {
@@ -173,6 +184,14 @@ mod tests {
         f.complete(0);
         assert_eq!(f.completed_count(), 1);
         assert_eq!(f.ready(), vec![1, 2]);
+    }
+
+    #[test]
+    fn ready_iter_matches_ready() {
+        let mut f = Frontier::new(&diamond());
+        f.complete(0);
+        assert_eq!(f.ready_iter().collect::<Vec<_>>(), f.ready());
+        assert_eq!(f.ready_len(), 2);
     }
 
     #[test]

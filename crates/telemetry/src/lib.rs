@@ -33,6 +33,8 @@
 //! | `job.eliminated` | counter |
 //! | `plan.cycles`, `plan.jobs_submitted` | counter |
 //! | `plan.reschedules_held`, `plan.reschedules_timeout` | counter |
+//! | `plan.score_cache.{hits,misses}` | counter |
+//! | `plan.scratch.reused` | counter |
 //! | `reliability.flagged`, `reliability.unflagged` | counter |
 //! | `wal.appends`, `wal.replays`, `wal.rewrites` | counter |
 //! | `db.rows.read`, `db.rows.decoded` | counter |

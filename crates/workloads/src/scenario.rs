@@ -103,6 +103,11 @@ pub struct Scenario {
     /// (`None` keeps the defaults); tests use tiny values to exercise
     /// the overflow accounting.
     pub telemetry_capacities: Option<(usize, usize)>,
+    /// Disable the planner's per-cycle score cache (the reference path
+    /// for `tests/planner_equivalence.rs` and the planner benchmark's
+    /// before/after comparison). Defaults to `false`: cache on.
+    #[serde(default)]
+    pub no_score_cache: bool,
 }
 
 impl Scenario {
@@ -188,6 +193,7 @@ impl Scenario {
             monitor: self.monitor.clone(),
             horizon: self.horizon,
             seed: self.seed,
+            score_cache: !self.no_score_cache,
             ..RuntimeConfig::default()
         };
         config.telemetry.wall_clock = self.wall_clock_telemetry;
@@ -247,6 +253,7 @@ impl Default for ScenarioBuilder {
                 deadline_last: None,
                 wall_clock_telemetry: false,
                 telemetry_capacities: None,
+                no_score_cache: false,
             },
         }
     }
@@ -344,6 +351,13 @@ impl ScenarioBuilder {
     /// tiny values to force overflow and check the drop accounting).
     pub fn telemetry_capacities(mut self, trace: usize, span: usize) -> Self {
         self.scenario.telemetry_capacities = Some((trace, span));
+        self
+    }
+
+    /// Run the planner without its per-cycle score cache (the reference
+    /// path the equivalence suite compares against).
+    pub fn no_score_cache(mut self, disabled: bool) -> Self {
+        self.scenario.no_score_cache = disabled;
         self
     }
 

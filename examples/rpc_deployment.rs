@@ -48,6 +48,7 @@ fn main() {
             feedback: true,
             policy_enabled: false,
             archive_site: None,
+            score_cache: true,
         },
     );
     println!("server thread booted; submitting a 30-job DAG over RPC…");

@@ -70,6 +70,7 @@ proptest! {
                 feedback: true,
                 policy_enabled: false,
                 archive_site: None,
+                score_cache: true,
             },
         );
         let mut rls = ReplicaService::new();

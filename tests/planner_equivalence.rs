@@ -1,0 +1,256 @@
+//! Planner hot-path equivalence suite.
+//!
+//! The per-cycle score cache (`ScoreCache` + `StrategyKind::choose_cached`)
+//! and the zero-copy planning inputs are pure optimizations: for every
+//! strategy, a run with the cache on must produce the **identical**
+//! [`RunReport`] and a **byte-identical** telemetry trace as the
+//! `no_score_cache` reference path, which still evaluates every candidate
+//! per ready job with `StrategyKind::choose`. Property tests additionally
+//! drive the cache directly against full rescoring under randomized
+//! catalogs, monitor reports, prediction samples and placement sequences.
+
+use proptest::prelude::*;
+use sphinx::core::prediction::Prediction;
+use sphinx::core::report::RunReport;
+use sphinx::core::strategy::{PlanningView, ScoreCache, SiteInfo, StrategyKind, StrategyState};
+use sphinx::data::SiteId;
+use sphinx::monitor::Report;
+use sphinx::sim::{Duration, SimRng, SimTime};
+use sphinx::workloads::{FaultPlan, Scenario};
+use std::collections::BTreeMap;
+
+/// One faulty-grid run, returning the canonical JSONL trace and the report.
+fn run_grid3(strategy: StrategyKind, no_score_cache: bool) -> (String, RunReport) {
+    let scenario = Scenario::builder()
+        .seed(7)
+        .faults(FaultPlan::grid3_typical())
+        .dags(2, 8)
+        .strategy(strategy)
+        .no_score_cache(no_score_cache)
+        .build();
+    let mut rt = scenario.build_runtime();
+    let report = rt.run();
+    assert!(
+        report.finished,
+        "{strategy} scenario must finish: {}",
+        report.summary()
+    );
+    (rt.telemetry().trace_jsonl(), report)
+}
+
+#[test]
+fn every_strategy_is_equivalent_with_and_without_the_score_cache() {
+    for strategy in StrategyKind::ALL {
+        let (trace_ref, report_ref) = run_grid3(strategy, true);
+        let (trace_opt, report_opt) = run_grid3(strategy, false);
+        assert_eq!(
+            report_ref, report_opt,
+            "{strategy}: score cache changed the run report"
+        );
+        assert_eq!(
+            trace_ref, trace_opt,
+            "{strategy}: score cache changed the telemetry trace"
+        );
+        // The cache actually engaged: placements hit it, and the
+        // reference path counted the identical would-be hits.
+        assert!(
+            report_opt.telemetry.counter("plan.score_cache.hits") > 0,
+            "{strategy}: cache never hit"
+        );
+        assert!(
+            report_opt.telemetry.counter("plan.scratch.reused") > 0,
+            "{strategy}: candidate scratch never reused"
+        );
+    }
+}
+
+#[test]
+fn deadline_and_policy_paths_are_equivalent_too() {
+    // EDF sorting and policy filtering change the candidate lists per job
+    // (the cache-miss path); both must stay decision-invariant.
+    let run = |no_cache: bool| -> (String, RunReport) {
+        let scenario = Scenario::builder()
+            .seed(11)
+            .faults(FaultPlan::grid3_typical())
+            .dags(3, 6)
+            .deadline_last(1, Duration::from_secs(24 * 3600))
+            .quota(sphinx::policy::Requirement::new(10_000_000, 10_000_000))
+            .no_score_cache(no_cache)
+            .build();
+        let mut rt = scenario.build_runtime();
+        let report = rt.run();
+        (rt.telemetry().trace_jsonl(), report)
+    };
+    let (trace_ref, report_ref) = run(true);
+    let (trace_opt, report_opt) = run(false);
+    assert_eq!(report_ref, report_opt);
+    assert_eq!(trace_ref, trace_opt);
+}
+
+/// Random scoring inputs, all derived from one seed (the vendored
+/// proptest idiom used across this repo: shrinkable scalars in, `SimRng`
+/// for the structure).
+fn scoring_world(
+    sites: u32,
+    seed: u64,
+) -> (
+    Vec<SiteInfo>,
+    BTreeMap<SiteId, u64>,
+    BTreeMap<SiteId, Report>,
+    Prediction,
+) {
+    let mut rng = SimRng::new(seed).derive("planner-equivalence");
+    let catalog: Vec<SiteInfo> = (0..sites)
+        .map(|i| SiteInfo {
+            id: SiteId(i),
+            name: format!("s{i}"),
+            cpus: rng.range_u64(0, 17) as u32, // 0 exercises the max(1) clamp
+        })
+        .collect();
+    let mut outstanding = BTreeMap::new();
+    let mut reports = BTreeMap::new();
+    let mut prediction = Prediction::new();
+    for i in 0..sites {
+        if rng.range_u64(0, 2) == 1 {
+            outstanding.insert(SiteId(i), rng.range_u64(0, 6));
+        }
+        if rng.range_u64(0, 2) == 1 {
+            reports.insert(
+                SiteId(i),
+                Report {
+                    site: SiteId(i),
+                    cpus: 10,
+                    queued: rng.range_u64(0, 20) as usize,
+                    running: rng.range_u64(0, 10) as usize,
+                    measured_at: SimTime::ZERO,
+                },
+            );
+        }
+        for _ in 0..rng.range_u64(0, 3) {
+            prediction.record(SiteId(i), Duration::from_secs(rng.range_u64(10, 1000)));
+        }
+    }
+    (catalog, outstanding, reports, prediction)
+}
+
+proptest! {
+    /// Incremental score adjustment (lazy heap + probe-list retain)
+    /// matches full rescoring for every strategy under random placement
+    /// sequences, including a mid-sequence candidate-list change.
+    #[test]
+    fn prop_cached_matches_full_rescoring(
+        sites in 1u32..9,
+        seed in 0u64..500,
+        strategy_idx in 0usize..4,
+        placements in 1usize..30,
+    ) {
+        let strategy = StrategyKind::ALL[strategy_idx];
+        let (catalog, outstanding0, reports, prediction) = scoring_world(sites, seed);
+        let all: Vec<SiteId> = catalog.iter().map(|s| s.id).collect();
+        // A non-empty random subset, switched to partway through the
+        // sequence (the cache-miss path plan_cycle takes when policy or
+        // feedback filtering narrows the candidates).
+        let mut rng = SimRng::new(seed).derive("subset");
+        let subset: Vec<SiteId> = all
+            .iter()
+            .copied()
+            .filter(|_| rng.range_u64(0, 2) == 1)
+            .collect();
+        let subset = if subset.is_empty() { all.clone() } else { subset };
+        let switch_at = rng.range_u64(0, placements as u64 + 1) as usize;
+
+        let mut o_plain = outstanding0.clone();
+        let mut o_cached = outstanding0;
+        let mut st_plain = StrategyState::new();
+        let mut st_cached = StrategyState::new();
+        let mut cache = ScoreCache::new();
+        cache.begin_cycle();
+        for step in 0..placements {
+            let candidates: &[SiteId] = if step < switch_at { &all } else { &subset };
+            let view_plain = PlanningView {
+                catalog: &catalog,
+                candidates,
+                outstanding: &o_plain,
+                reports: &reports,
+                prediction: &prediction,
+            };
+            let plain = strategy.choose(&view_plain, &mut st_plain).unwrap();
+            let view_cached = PlanningView {
+                catalog: &catalog,
+                candidates,
+                outstanding: &o_cached,
+                reports: &reports,
+                prediction: &prediction,
+            };
+            let cached = strategy
+                .choose_cached(&view_cached, &mut st_cached, &mut cache)
+                .unwrap();
+            prop_assert_eq!(plain, cached, "{} diverged at placement {}", strategy, step);
+            // Mirror plan_cycle: a placement bumps the chosen site's
+            // outstanding count (the only mid-phase score input change).
+            *o_plain.entry(plain).or_insert(0) += 1;
+            *o_cached.entry(cached).or_insert(0) += 1;
+        }
+    }
+
+    /// Multi-cycle: `begin_cycle` must fully invalidate — `outstanding`
+    /// shrinking between cycles (reports drained) never leaks a stale
+    /// ranking into the next cycle.
+    #[test]
+    fn prop_cache_survives_cycle_boundaries(
+        sites in 1u32..7,
+        seed in 0u64..500,
+        strategy_idx in 0usize..4,
+        cycles in 1usize..5,
+    ) {
+        let strategy = StrategyKind::ALL[strategy_idx];
+        let (catalog, mut outstanding, reports, mut prediction) = scoring_world(sites, seed);
+        let all: Vec<SiteId> = catalog.iter().map(|s| s.id).collect();
+        let mut rng = SimRng::new(seed).derive("cycles");
+        let mut st_plain = StrategyState::new();
+        let mut st_cached = StrategyState::new();
+        let mut cache = ScoreCache::new();
+        for cycle in 0..cycles {
+            // Between cycles: completions shrink outstanding and add
+            // prediction samples, exactly what handle_report does.
+            for site in all.iter() {
+                if let Some(v) = outstanding.get_mut(site) {
+                    *v = v.saturating_sub(rng.range_u64(0, 3));
+                }
+                if rng.range_u64(0, 3) == 0 {
+                    prediction.record(*site, Duration::from_secs(rng.range_u64(10, 500)));
+                }
+            }
+            cache.begin_cycle();
+            let mut o_plain = outstanding.clone();
+            let mut o_cached = outstanding.clone();
+            for step in 0..1 + rng.range_u64(0, 6) as usize {
+                let view_plain = PlanningView {
+                    catalog: &catalog,
+                    candidates: &all,
+                    outstanding: &o_plain,
+                    reports: &reports,
+                    prediction: &prediction,
+                };
+                let plain = strategy.choose(&view_plain, &mut st_plain).unwrap();
+                let view_cached = PlanningView {
+                    catalog: &catalog,
+                    candidates: &all,
+                    outstanding: &o_cached,
+                    reports: &reports,
+                    prediction: &prediction,
+                };
+                let cached = strategy
+                    .choose_cached(&view_cached, &mut st_cached, &mut cache)
+                    .unwrap();
+                prop_assert_eq!(
+                    plain, cached,
+                    "{} diverged at cycle {} placement {}", strategy, cycle, step
+                );
+                *o_plain.entry(plain).or_insert(0) += 1;
+                *o_cached.entry(cached).or_insert(0) += 1;
+            }
+            outstanding = o_plain;
+        }
+    }
+}
