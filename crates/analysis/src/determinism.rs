@@ -27,6 +27,11 @@ pub const ENV_READ: &str = "env-read";
 /// (its `parallel_map` merges results in input order), so the sim crates
 /// get this rule and the bench crate does not.
 pub const THREAD: &str = "thread-spawn";
+/// Rule: cross-shard WAL reads (`segment_of`). A shard owns its WAL
+/// namespace exclusively; the only legitimate reader of *another* shard's
+/// segment is the crash-adoption path, and every such site must carry an
+/// explicit allow so the isolation boundary stays reviewable.
+pub const SHARD_WAL_READ: &str = "shard-wal-read";
 
 /// Every determinism rule, for `--help` and the fixture tests.
 pub const ALL_RULES: &[&str] = &[
@@ -36,6 +41,7 @@ pub const ALL_RULES: &[&str] = &[
     FS_READ,
     ENV_READ,
     THREAD,
+    SHARD_WAL_READ,
 ];
 
 /// Scan one file with the full rule set.
@@ -131,6 +137,13 @@ pub fn scan(file: &SourceFile, rules: &[&str]) -> Vec<Finding> {
                     ident_at(2).unwrap_or_default()
                 ),
             ),
+            "segment_of" => emit(
+                SHARD_WAL_READ,
+                t.line,
+                "`segment_of` crosses the per-shard WAL boundary; only the adoption path may, \
+                 with an explicit `allow(shard-wal-read)`"
+                    .to_owned(),
+            ),
             "env" if next_is(1, "::") && matches!(ident_at(2), Some("var" | "var_os" | "vars")) => {
                 emit(
                     ENV_READ,
@@ -173,6 +186,7 @@ mod tests {
             ("let v = std::env::var(\"X\");", ENV_READ),
             ("let h = thread::spawn(f);", THREAD),
             ("std::thread::scope(|s| run(s));", THREAD),
+            ("let w = wals.segment_of(peer);", SHARD_WAL_READ),
         ];
         for (src, rule) in cases {
             let findings = check(&lex(src));

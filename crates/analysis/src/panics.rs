@@ -18,6 +18,15 @@ use std::collections::BTreeMap;
 /// Rule id for budget violations.
 pub const RATCHET: &str = "panic-ratchet";
 
+/// Keywords that lex as identifiers but cannot end a value expression —
+/// a `[` following one of these starts a slice/array type or literal.
+fn is_expr_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "mut" | "dyn" | "as" | "in" | "return" | "break" | "const" | "else" | "match" | "ref"
+    )
+}
+
 /// Count panic-capable constructs in one file's non-test tokens.
 pub fn count_file(file: &SourceFile) -> u64 {
     let toks = &file.tokens;
@@ -33,10 +42,14 @@ pub fn count_file(file: &SourceFile) -> u64 {
             // Indexing: `[` right after a value (identifier, call or
             // index result). `#[attr]`, `vec![…]`, array types/literals
             // follow `#`, `!`, `:`, `=`, `&`, `(`… and are not counted.
+            // Keywords lex as idents but can never end a value
+            // expression, so `&mut [T]` / `as [T; N]` / `return [..]`
+            // are types or literals, not indexing.
             TokenKind::Punct
                 if t.text == "["
                     && i > 0
-                    && (toks[i - 1].kind == TokenKind::Ident
+                    && ((toks[i - 1].kind == TokenKind::Ident
+                        && !is_expr_keyword(&toks[i - 1].text))
                         || toks[i - 1].is_punct(")")
                         || toks[i - 1].is_punct("]")) =>
             {
@@ -156,6 +169,9 @@ mod tests {
         assert_eq!(count("let v = vec![1, 2];"), 0);
         assert_eq!(count("let a: [u8; 4] = [0; 4];"), 0);
         assert_eq!(count("fn f(xs: &[u32]) {}"), 0);
+        assert_eq!(count("fn f(xs: &mut [u32]) {}"), 0);
+        assert_eq!(count("let s = bytes as [u8; 2];"), 0);
+        assert_eq!(count("return [a, b];"), 0);
     }
 
     #[test]

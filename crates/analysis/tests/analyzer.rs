@@ -73,6 +73,12 @@ fn env_read_fixture_flags_var() {
 }
 
 #[test]
+fn shard_wal_read_fixture_flags_only_the_unallowed_read() {
+    let findings = determinism::check(&fixture("shard_wal_read.rs"));
+    assert_eq!(tags(&findings), vec![(determinism::SHARD_WAL_READ, 3)]);
+}
+
+#[test]
 fn fsa_rejects_the_undeclared_finished_to_running_edge() {
     let specs = [fsa::job_spec(), fsa::dag_spec()];
     let findings = fsa::check(&fixture("fsa_illegal_edge.rs"), &specs);

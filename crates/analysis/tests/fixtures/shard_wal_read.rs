@@ -1,0 +1,9 @@
+//! Fixture: cross-shard WAL reads must be annotation-gated.
+fn rogue(wals: &WalSet, peer: usize) -> Option<MemWal> {
+    wals.segment_of(peer)
+}
+
+// sphinx-lint: allow(shard-wal-read)
+fn adoption_path(wals: &WalSet, dead: usize) -> Option<MemWal> {
+    wals.segment_of(dead) // sphinx-lint: allow(shard-wal-read)
+}

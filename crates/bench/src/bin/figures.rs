@@ -11,7 +11,7 @@
 
 use sphinx_bench::{
     aggregate, jobs_vs_speed_correlation, planner, render_site_table, render_svg_value_bars,
-    render_table, run_trials, scale, write_json, write_svg, Aggregate,
+    render_table, run_trials, scale, shard, write_json, write_svg, Aggregate,
 };
 use sphinx_policy::Requirement;
 use sphinx_sim::Duration;
@@ -117,6 +117,48 @@ fn planner_regressions(bench: &planner::PlannerBench) -> Vec<String> {
         if old > 0.0 && new > old * 1.25 {
             out.push(format!(
                 "{}: plan_cycle_mean_us {new:.1}us vs baseline {old:.1}us (+{:.0}%, limit 25%)",
+                point.label,
+                (new / old - 1.0) * 100.0
+            ));
+        }
+    }
+    out
+}
+
+/// Compare a fresh shard sweep against the committed `BENCH_shard.json`
+/// baseline. Absolute microsecond means are machine- and load-dependent
+/// (the plan cycles here are well under a millisecond), so the gate
+/// compares the machine-independent shape instead: each 4-shard point's
+/// per-shard plan-cycle mean *relative to the run's own single-shard
+/// baseline*. A >25% regression of that ratio fails the run.
+fn shard_regressions(bench: &shard::ShardBench) -> Vec<String> {
+    let Ok(old) = std::fs::read_to_string("BENCH_shard.json") else {
+        return Vec::new(); // no committed baseline yet
+    };
+    let Ok(baseline) = serde_json::from_str::<shard::ShardBench>(&old) else {
+        return vec!["BENCH_shard.json exists but does not parse".to_owned()];
+    };
+    let relative_cost = |b: &shard::ShardBench, label: &str| -> Option<f64> {
+        let single = b
+            .points
+            .iter()
+            .filter(|p| p.shards == 1)
+            .map(|p| p.plan_cycle_mean_us_per_shard)
+            .find(|&m| m > 0.0)?;
+        let point = b.points.iter().find(|p| p.label == label)?;
+        Some(point.plan_cycle_mean_us_per_shard / single)
+    };
+    let mut out = Vec::new();
+    for point in bench.points.iter().filter(|p| p.shards == 4) {
+        let (Some(new), Some(old)) = (
+            relative_cost(bench, &point.label),
+            relative_cost(&baseline, &point.label),
+        ) else {
+            continue;
+        };
+        if old > 0.0 && new > old * 1.25 {
+            out.push(format!(
+                "{}: per-shard cost {new:.2}x of single-shard vs {old:.2}x committed (+{:.0}%, limit 25%)",
                 point.label,
                 (new / old - 1.0) * 100.0
             ));
@@ -441,6 +483,39 @@ fn main() {
                 let json = serde_json::to_string_pretty(&bench).expect("planner serialize");
                 std::fs::write("BENCH_planner.json", json).expect("write BENCH_planner.json");
                 println!("planner sweep written to BENCH_planner.json");
+                if !regressions.is_empty() {
+                    for r in &regressions {
+                        eprintln!("regression: {r}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+            "shard" => {
+                // Sharded-runtime sweep: planner-cycle cost as the DAG
+                // count grows 10× across 1→8 shards on a fixed grid.
+                let sizes: &[shard::ShardSizeSpec] = if opts.quick {
+                    &[shard::SIZES[0], shard::SIZES[2]]
+                } else {
+                    &shard::SIZES
+                };
+                let bench = shard::run_sweep(sizes, seeds(&opts)[0]);
+                print!("{}", shard::render_shard_table(&bench));
+                let regressions = shard_regressions(&bench);
+                write_json(&opts.results_dir, "shard", &bench).expect("write results");
+                let json = serde_json::to_string_pretty(&bench).expect("shard serialize");
+                std::fs::write("BENCH_shard.json", json).expect("write BENCH_shard.json");
+                println!("shard sweep written to BENCH_shard.json");
+                if bench.mean_spread > 2.0 {
+                    eprintln!(
+                        "regression: per-shard plan-cycle mean spread {:.2}x exceeds the 2x flat-scaling budget",
+                        bench.mean_spread
+                    );
+                    std::process::exit(1);
+                }
+                if bench.points.iter().any(|p| !p.matches_unsharded) {
+                    eprintln!("regression: sharded schedule diverged from the unsharded runtime");
+                    std::process::exit(1);
+                }
                 if !regressions.is_empty() {
                     for r in &regressions {
                         eprintln!("regression: {r}");

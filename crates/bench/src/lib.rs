@@ -12,6 +12,7 @@ use std::path::Path;
 
 pub mod planner;
 pub mod scale;
+pub mod shard;
 
 /// Map `f` over `items` on `available_parallelism` scoped worker threads,
 /// returning results in **input order** regardless of which worker finished

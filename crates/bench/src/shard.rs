@@ -1,0 +1,303 @@
+//! Sharded-runtime benchmark: planner-cycle cost as DAGs scale out
+//! across shards.
+//!
+//! Runs a fixed 15-site grid with the DAG count growing 10× from the
+//! single-shard baseline (4 DAGs × 1 shard → 40 DAGs × 8 shards, 25
+//! jobs per DAG) and reports, per point:
+//!
+//! * planner-cycle latency (the `wall.plan_cycle_us` histogram), both
+//!   the raw global-cycle mean and the per-shard share. The simulation
+//!   executes every shard's planning serially inside one global cycle;
+//!   a real deployment runs shards concurrently, so the per-shard share
+//!   is the latency one scheduler pays — the headline claim is that it
+//!   stays flat (within 2×) while the DAG count grows 10×;
+//! * coordination traffic (heartbeats, lease grants) from the
+//!   coordination telemetry hub;
+//! * that the sharded schedule is identical to the unsharded runtime's
+//!   on the same scenario (the determinism contract, measured at bench
+//!   scale rather than test scale).
+//!
+//! The output is machine-readable (`BENCH_shard.json`) so CI can fail on
+//! a plan-cycle regression of the 4-shard point against the committed
+//! baseline.
+
+use crate::scale;
+use serde::{Deserialize, Serialize};
+use sphinx_core::shard::ShardConfig;
+use sphinx_core::RunReport;
+use sphinx_workloads::Scenario;
+
+/// Sites in every sweep point: the Grid3 pattern at paper scale.
+pub const SITES: u32 = 15;
+
+/// One point of the shard sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSizeSpec {
+    /// Label used in tables and JSON.
+    pub label: &'static str,
+    /// Scheduler shards.
+    pub shards: usize,
+    /// Number of DAGs submitted.
+    pub dags: u32,
+    /// Jobs per DAG.
+    pub jobs_per_dag: u32,
+}
+
+impl ShardSizeSpec {
+    /// Total job count of this point.
+    pub fn jobs(&self) -> u32 {
+        self.dags * self.jobs_per_dag
+    }
+}
+
+/// The sweep: DAG count grows 10× from the single-shard baseline while
+/// the per-shard share stays roughly constant.
+pub const SIZES: [ShardSizeSpec; 4] = [
+    ShardSizeSpec {
+        label: "1-shard-4-dags",
+        shards: 1,
+        dags: 4,
+        jobs_per_dag: 25,
+    },
+    ShardSizeSpec {
+        label: "2-shards-10-dags",
+        shards: 2,
+        dags: 10,
+        jobs_per_dag: 25,
+    },
+    ShardSizeSpec {
+        label: "4-shards-20-dags",
+        shards: 4,
+        dags: 20,
+        jobs_per_dag: 25,
+    },
+    ShardSizeSpec {
+        label: "8-shards-40-dags",
+        shards: 8,
+        dags: 40,
+        jobs_per_dag: 25,
+    },
+];
+
+/// Metrics from one sweep point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardPoint {
+    /// Size label.
+    pub label: String,
+    /// Scheduler shards.
+    pub shards: usize,
+    /// DAGs submitted.
+    pub dags: u32,
+    /// Total jobs submitted.
+    pub jobs: u32,
+    /// Whether every DAG finished before the horizon.
+    pub finished: bool,
+    /// Jobs the shards completed.
+    pub jobs_completed: u64,
+    /// Wall-clock seconds for the whole simulated run.
+    pub run_secs: f64,
+    /// Global planner cycles observed by the latency histogram.
+    pub plan_cycles: u64,
+    /// Mean global planner-cycle latency, microseconds (all shards'
+    /// planning, executed serially by the simulation).
+    pub plan_cycle_mean_us: f64,
+    /// Worst global planner-cycle latency, microseconds.
+    pub plan_cycle_max_us: f64,
+    /// Mean per-shard share of the cycle (`plan_cycle_mean_us / shards`)
+    /// — what one scheduler pays when shards run concurrently.
+    pub plan_cycle_mean_us_per_shard: f64,
+    /// Lease heartbeats written to the coordination tables.
+    pub heartbeats: u64,
+    /// Leases granted at startup (== shards).
+    pub leases_granted: u64,
+    /// Adoptions (0 in this crash-free sweep).
+    pub adoptions: u64,
+    /// The sharded schedule equals the unsharded runtime's on the same
+    /// scenario (jobs, per-DAG completions, makespan, plan count).
+    pub matches_unsharded: bool,
+}
+
+/// The whole shard benchmark artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardBench {
+    /// One entry per sweep size.
+    pub points: Vec<ShardPoint>,
+    /// Worst `plan_cycle_mean_us_per_shard` across the sweep divided by
+    /// the single-shard baseline's — the flat-scaling headline (must
+    /// stay ≤ 2: per-scheduler cost may not double while the DAG count
+    /// grows 10×; shrinking below the baseline is the point of
+    /// sharding, not a regression).
+    pub mean_spread: f64,
+}
+
+/// The parts of a report that define "the same schedule" (host-clock
+/// telemetry differs between any two processes).
+fn schedule_view(report: &RunReport) -> (usize, Vec<f64>, f64, u64) {
+    (
+        report.jobs_completed,
+        report.dag_completion_secs.clone(),
+        report.makespan_secs,
+        report.plans,
+    )
+}
+
+/// Run one sweep point: the sharded deployment, then the unsharded
+/// runtime on the identical scenario for the equivalence column.
+pub fn run_point(size: &ShardSizeSpec, seed: u64) -> ShardPoint {
+    let scenario = Scenario::builder()
+        .sites(scale::scaled_catalog(SITES))
+        .dags(size.dags, size.jobs_per_dag)
+        .seed(seed)
+        .wall_clock_telemetry(true)
+        .build();
+    let mut rt = scenario.build_sharded_runtime(ShardConfig {
+        shards: size.shards,
+        ..ShardConfig::default()
+    });
+    let t0 = std::time::Instant::now(); // sphinx-lint: allow(wall-clock)
+    let report = rt.try_run().expect("sharded bench run");
+    let run_secs = t0.elapsed().as_secs_f64();
+
+    let snapshot = rt.telemetry().snapshot();
+    let plan_hist = snapshot.histograms.get("wall.plan_cycle_us");
+    let coord = rt.coord_telemetry();
+    let unsharded = scenario.run();
+
+    let plan_cycle_mean_us = plan_hist.map_or(0.0, |h| h.mean());
+    ShardPoint {
+        label: size.label.to_owned(),
+        shards: size.shards,
+        dags: size.dags,
+        jobs: size.jobs(),
+        finished: report.finished,
+        jobs_completed: report.jobs_completed as u64,
+        run_secs,
+        plan_cycles: plan_hist.map_or(0, |h| h.count),
+        plan_cycle_mean_us,
+        plan_cycle_max_us: plan_hist.map_or(0.0, |h| h.max),
+        plan_cycle_mean_us_per_shard: plan_cycle_mean_us / size.shards.max(1) as f64,
+        heartbeats: coord.counter("shard.heartbeats"),
+        leases_granted: coord.counter("shard.leases.granted"),
+        adoptions: coord.counter("shard.adoptions"),
+        matches_unsharded: schedule_view(&report) == schedule_view(&unsharded),
+    }
+}
+
+/// Run a whole sweep and compute the flat-scaling spread.
+pub fn run_sweep(sizes: &[ShardSizeSpec], seed: u64) -> ShardBench {
+    let points: Vec<ShardPoint> = sizes
+        .iter()
+        .map(|size| {
+            eprintln!("[shard] running {} ...", size.label);
+            run_point(size, seed)
+        })
+        .collect();
+    let means: Vec<f64> = points
+        .iter()
+        .map(|p| p.plan_cycle_mean_us_per_shard)
+        .filter(|&m| m > 0.0)
+        .collect();
+    // Growth relative to the single-shard baseline (smallest shard count
+    // present); falls back to the cheapest point when the sweep has no
+    // baseline so the ratio is still well-defined.
+    let baseline = points
+        .iter()
+        .filter(|p| p.plan_cycle_mean_us_per_shard > 0.0)
+        .min_by_key(|p| p.shards)
+        .map(|p| p.plan_cycle_mean_us_per_shard)
+        .filter(|&b| b > 0.0);
+    let max = means.iter().cloned().fold(0.0f64, f64::max);
+    let mean_spread = match baseline {
+        Some(base) => max / base,
+        None => 0.0,
+    };
+    ShardBench {
+        points,
+        mean_spread,
+    }
+}
+
+/// Render the sweep as a table.
+pub fn render_shard_table(bench: &ShardBench) -> String {
+    let mut out = String::new();
+    out.push_str("\n== shard — planner cycle vs shard count (15 sites, 25 jobs/DAG)\n");
+    out.push_str(&format!(
+        "{:<18} {:>7} {:>6} {:>6} {:>11} {:>12} {:>11} {:>11} {:>6}\n",
+        "size",
+        "shards",
+        "dags",
+        "jobs",
+        "cycle (us)",
+        "/shard (us)",
+        "max (us)",
+        "heartbeats",
+        "same"
+    ));
+    for p in &bench.points {
+        out.push_str(&format!(
+            "{:<18} {:>7} {:>6} {:>6} {:>11.1} {:>12.1} {:>11.0} {:>11} {:>6}\n",
+            p.label,
+            p.shards,
+            p.dags,
+            p.jobs,
+            p.plan_cycle_mean_us,
+            p.plan_cycle_mean_us_per_shard,
+            p.plan_cycle_max_us,
+            p.heartbeats,
+            if p.matches_unsharded { "yes" } else { "NO" },
+        ));
+    }
+    out.push_str(&format!(
+        "per-shard plan-cycle mean vs single-shard baseline: {:.2}x worst growth (budget 2x)\n",
+        bench.mean_spread
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_point_matches_the_unsharded_schedule() {
+        let size = ShardSizeSpec {
+            label: "tiny",
+            shards: 2,
+            dags: 2,
+            jobs_per_dag: 8,
+        };
+        let point = run_point(&size, 3);
+        assert!(point.finished);
+        assert_eq!(point.jobs_completed, u64::from(size.jobs()));
+        assert!(
+            point.matches_unsharded,
+            "sharding must not change the schedule"
+        );
+        assert_eq!(point.leases_granted, 2);
+        assert_eq!(point.adoptions, 0);
+        assert!(point.plan_cycles > 0, "wall-clock histogram must populate");
+    }
+
+    #[test]
+    fn sweep_computes_the_mean_spread() {
+        let sizes = [
+            ShardSizeSpec {
+                label: "a",
+                shards: 1,
+                dags: 1,
+                jobs_per_dag: 6,
+            },
+            ShardSizeSpec {
+                label: "b",
+                shards: 2,
+                dags: 2,
+                jobs_per_dag: 6,
+            },
+        ];
+        let bench = run_sweep(&sizes, 5);
+        assert_eq!(bench.points.len(), 2);
+        assert!(bench.mean_spread > 0.0);
+        let table = render_shard_table(&bench);
+        assert!(table.contains("worst growth"));
+    }
+}

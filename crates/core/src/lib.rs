@@ -34,6 +34,7 @@ pub mod report;
 pub mod rpc;
 pub mod runtime;
 pub mod server;
+pub mod shard;
 pub mod state;
 pub mod strategy;
 
@@ -43,4 +44,7 @@ pub use report::RunReport;
 pub use rpc::ServerHandle;
 pub use runtime::{RuntimeConfig, SphinxRuntime};
 pub use server::{ServerConfig, SphinxServer};
+pub use shard::{
+    AdoptionRecord, CrashPoint, ShardConfig, ShardCrash, ShardedRuntime, SiteLeaseRow,
+};
 pub use strategy::StrategyKind;

@@ -87,6 +87,114 @@ impl ServerStats {
     }
 }
 
+/// Mutable scheduling state — the planner's view of the *grid*, as opposed
+/// to the per-server view of its own DAGs.
+///
+/// Extracted from [`SphinxServer`] so a sharded deployment
+/// ([`crate::shard`]) can run several servers over partitioned DAG storage
+/// while planning against one global view: per-site outstanding counts,
+/// prediction/reliability ledgers, quota accounts and the score cache all
+/// describe shared grid resources, so splitting them per shard would change
+/// placement decisions. The unsharded server simply owns one instance; the
+/// sharded coordinator owns one instance and threads it through every
+/// shard's `*_shared` calls in a deterministic global order.
+pub struct SchedulerState {
+    pub(crate) policy: PolicyEngine,
+    pub(crate) prediction: Prediction,
+    pub(crate) reliability: Reliability,
+    /// Jobs planned to each site and not yet finished (eq. 1/2 input).
+    pub(crate) outstanding: BTreeMap<SiteId, u64>,
+    pub(crate) strategy_state: StrategyState,
+    /// Per-cycle site-ranking memo (the planner hot path).
+    pub(crate) score_cache: ScoreCache,
+    pub(crate) stats: ServerStats,
+    pub(crate) last_plan_at: Option<SimTime>,
+    /// Reused per-job candidate buffer (allocated once, not per job).
+    pub(crate) candidates_scratch: Vec<SiteId>,
+    /// Jobs this cycle that reused the scratch buffer's capacity.
+    pub(crate) scratch_reused: u64,
+}
+
+impl Default for SchedulerState {
+    fn default() -> Self {
+        SchedulerState {
+            policy: PolicyEngine::new(),
+            prediction: Prediction::new(),
+            reliability: Reliability::new(),
+            outstanding: BTreeMap::new(),
+            strategy_state: StrategyState::new(),
+            score_cache: ScoreCache::new(),
+            stats: ServerStats::default(),
+            last_plan_at: None,
+            candidates_scratch: Vec::new(),
+            scratch_reused: 0,
+        }
+    }
+}
+
+impl SchedulerState {
+    pub(crate) fn dec_outstanding(&mut self, site: SiteId) {
+        if let Some(n) = self.outstanding.get_mut(&site) {
+            *n = n.saturating_sub(1);
+        }
+    }
+}
+
+/// One ready job with its planning-order keys (deadline for EDF, user
+/// priority for §5 ordering), as produced by
+/// [`SphinxServer::ready_entries`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReadyEntry {
+    pub(crate) job: JobId,
+    pub(crate) deadline: Option<SimTime>,
+    pub(crate) priority: u32,
+}
+
+/// Per-cycle bookkeeping emitted once per plan cycle, before any per-DAG
+/// work: cycle counters, monitoring staleness, the `PlanCycle` trace line.
+/// Free function so the sharded coordinator can emit it exactly once per
+/// *global* cycle rather than once per shard.
+pub(crate) fn cycle_prolog(
+    telemetry: &Telemetry,
+    sched: &mut SchedulerState,
+    now: SimTime,
+    reports: &BTreeMap<SiteId, Report>,
+) {
+    telemetry.counter_add("plan.cycles", 1);
+    if let Some(prev) = sched.last_plan_at {
+        telemetry.observe_ms("plan.cycle_gap_ms", now.since(prev));
+    }
+    sched.last_plan_at = Some(now);
+    // Staleness of the monitoring data this cycle plans against —
+    // "sample age at use", the paper's §2 imperfection made visible.
+    for report in reports.values() {
+        telemetry.observe_ms("monitor.sample_age_ms", report.age(now));
+    }
+    telemetry.trace(
+        TraceKind::PlanCycle,
+        now,
+        None,
+        None,
+        format!("reports={}", reports.len()),
+    );
+    sched.scratch_reused = 0;
+}
+
+/// Per-cycle epilogue: flush the score-cache and scratch-reuse counters.
+pub(crate) fn cycle_epilog(telemetry: &Telemetry, sched: &mut SchedulerState) {
+    let (cache_hits, cache_misses) = sched.score_cache.take_counters();
+    if cache_hits > 0 {
+        telemetry.counter_add("plan.score_cache.hits", cache_hits);
+    }
+    if cache_misses > 0 {
+        telemetry.counter_add("plan.score_cache.misses", cache_misses);
+    }
+    if sched.scratch_reused > 0 {
+        telemetry.counter_add("plan.scratch.reused", sched.scratch_reused);
+    }
+    sched.scratch_reused = 0;
+}
+
 /// In-memory planner view of one active DAG — a mirror of its [`DagRow`]
 /// (shared `Arc`, not a copy) plus derived data the planner needs per
 /// ready job. Kept in lock-step with the row: inserted on submit/recover,
@@ -105,26 +213,18 @@ pub struct SphinxServer {
     db: Arc<Database>,
     config: ServerConfig,
     catalog: Vec<SiteInfo>,
-    policy: PolicyEngine,
-    prediction: Prediction,
-    reliability: Reliability,
-    /// Jobs planned to each site and not yet finished (eq. 1/2 input).
-    outstanding: BTreeMap<SiteId, u64>,
+    /// Grid-wide scheduling state (see [`SchedulerState`]). The unsharded
+    /// server owns its own; a sharded coordinator substitutes a shared one
+    /// through the `*_shared` entry points.
+    sched: SchedulerState,
     frontiers: BTreeMap<DagId, Frontier>,
     /// Planner-side mirror of active DAG rows (see [`DagMeta`]).
     dag_meta: BTreeMap<DagId, DagMeta>,
-    strategy_state: StrategyState,
-    /// Per-cycle site-ranking memo (the planner hot path).
-    score_cache: ScoreCache,
-    stats: ServerStats,
     dags_total: u64,
     dags_finished: u64,
     telemetry: Arc<Telemetry>,
-    last_plan_at: Option<SimTime>,
     /// Every catalog site id, in catalog order (catalog is immutable).
     all_site_ids: Vec<SiteId>,
-    /// Reused per-job candidate buffer (allocated once, not per job).
-    candidates_scratch: Vec<SiteId>,
 }
 
 /// The JSON value a [`DagId`] takes at the `/id/dag` pointer of a `JobRow`
@@ -148,21 +248,13 @@ impl SphinxServer {
             db,
             config,
             catalog,
-            policy: PolicyEngine::new(),
-            prediction: Prediction::new(),
-            reliability: Reliability::new(),
-            outstanding: BTreeMap::new(),
+            sched: SchedulerState::default(),
             frontiers: BTreeMap::new(),
             dag_meta: BTreeMap::new(),
-            strategy_state: StrategyState::new(),
-            score_cache: ScoreCache::new(),
-            stats: ServerStats::default(),
             dags_total: 0,
             dags_finished: 0,
             telemetry: Telemetry::shared(),
-            last_plan_at: None,
             all_site_ids,
-            candidates_scratch: Vec::new(),
         }
     }
 
@@ -234,9 +326,11 @@ impl SphinxServer {
         for row in server.db.scan::<SiteStatsRow>()? {
             let site = SiteId(row.site);
             server
+                .sched
                 .reliability
                 .restore(site, row.completed, row.cancelled);
             server
+                .sched
                 .prediction
                 .restore(site, row.completion_secs_sum, row.completion_samples);
         }
@@ -279,29 +373,202 @@ impl SphinxServer {
         Ok(server)
     }
 
+    /// Adopt every DAG of a crashed peer from its recovered database
+    /// (the sharded failover path; see DESIGN.md "Sharded scheduling").
+    ///
+    /// Rows are copied verbatim — DAG and job state is exactly what the
+    /// dead shard's WAL committed — and per-site statistics are
+    /// merge-added, because both shards planned onto the same grid sites.
+    /// Frontiers are rebuilt the way [`Self::recover`] does, except that
+    /// in-flight attempts are *kept* in flight: unlike a whole-server
+    /// crash, the grid and its tracker survived, so reports for those
+    /// attempts will still arrive. [`Self::reconcile_inflight`] then
+    /// repairs the torn tail against the client's tracking table.
+    ///
+    /// Returns the adopted DAG ids, in id order.
+    pub(crate) fn adopt_from(&mut self, donor: &Database, now: SimTime) -> CoreResult<Vec<DagId>> {
+        // Group the donor's job rows by owning DAG (full scan, no reliance
+        // on secondary indexes existing in the bare recovered database).
+        let mut jobs_of: BTreeMap<DagId, Vec<JobRow>> = BTreeMap::new();
+        for job in donor.scan::<JobRow>()? {
+            jobs_of.entry(job.id.dag).or_default().push(job);
+        }
+        let mut adopted = Vec::new();
+        for dag_row in donor.scan::<DagRow>()? {
+            let jobs = jobs_of.remove(&dag_row.id).unwrap_or_default();
+            // Copy the rows verbatim, atomically per DAG.
+            let mut txn = self.db.txn();
+            txn.put(&dag_row)?;
+            for job in &jobs {
+                txn.put(job)?;
+            }
+            txn.commit()?;
+            self.dags_total += 1;
+            adopted.push(dag_row.id);
+            if dag_row.state == DagState::Finished {
+                self.dags_finished += 1;
+                continue;
+            }
+            if dag_row.state == DagState::Running {
+                let terminal: Vec<u32> = jobs
+                    .iter()
+                    .filter(|j| j.state.is_terminal())
+                    .map(|j| j.id.index)
+                    .collect();
+                let mut frontier = Frontier::with_completed(&dag_row.dag, &terminal);
+                for job in &jobs {
+                    if job.state.is_outstanding() {
+                        // Still running on the grid under the old shard's
+                        // plan; keep it out of the ready set.
+                        frontier.take(job.id.index);
+                    } else if job.state == JobState::Unready && frontier.is_ready(job.id.index) {
+                        // Torn tail: the parent's completion committed but
+                        // the child's Unready -> Ready update was on the
+                        // WAL line the crash tore off. The frontier is
+                        // derived from the committed completions, so it is
+                        // the authority; repair the row.
+                        self.db.update::<JobRow>(job.id.as_key(), |j| {
+                            // sphinx-fsa: Unready -> Ready
+                            j.advance(JobState::Ready);
+                        })?;
+                        self.telemetry.note_job_state(
+                            job.id.as_key(),
+                            dag_row.id.0,
+                            "ready",
+                            None,
+                            None,
+                            now,
+                        );
+                    }
+                }
+                self.frontiers.insert(dag_row.id, frontier);
+            }
+            // `Received` DAGs will be reduced by the adopter's next cycle.
+            self.remember_dag(
+                dag_row.id,
+                Arc::clone(&dag_row.dag),
+                dag_row.user,
+                dag_row.deadline,
+            );
+            self.maybe_finish_dag(dag_row.id, now)?;
+        }
+        // Fold the donor's per-site tallies into ours: site keys collide
+        // across shards, so this must merge-add, never overwrite.
+        for stats in donor.scan::<SiteStatsRow>()? {
+            self.bump_site_stats(SiteId(stats.site), |s| {
+                s.completed += stats.completed;
+                s.cancelled += stats.cancelled;
+                s.completion_secs_sum += stats.completion_secs_sum;
+                s.completion_samples += stats.completion_samples;
+            })?;
+        }
+        Ok(adopted)
+    }
+
+    /// Reconcile adopted in-flight attempts against the client tracker
+    /// (which survived the shard crash). Two torn-tail shapes exist:
+    ///
+    /// * A row says `Submitted` but the client never tracked the job —
+    ///   the dead shard committed the plan row and crashed before the
+    ///   submit reached the grid. Release the reservation, rebalance the
+    ///   outstanding count, and put the job back in the ready set.
+    /// * A row says `Ready` but the client *is* tracking the job — the
+    ///   submit reached the grid but the crash tore the WAL line carrying
+    ///   the row update. Re-advance the row so the eventual completion
+    ///   report passes the FSA guards. (The reservation id died with the
+    ///   torn line; that quota stays reserved — a documented leak bounded
+    ///   by one job per crash.)
+    ///
+    /// Returns `(reset, repaired)` counts.
+    pub(crate) fn reconcile_inflight(
+        &mut self,
+        sched: &mut SchedulerState,
+        adopted: &[DagId],
+        tracked: &BTreeMap<JobId, SiteId>,
+        now: SimTime,
+    ) -> CoreResult<(u64, u64)> {
+        let mut reset = 0u64;
+        let mut repaired = 0u64;
+        for &dag_id in adopted {
+            for job in self.db.scan_where::<JobRow>("/id/dag", &dag_key(dag_id)?)? {
+                if job.state.is_outstanding() && !tracked.contains_key(&job.id) {
+                    if let Some(res) = job.reservation {
+                        let _ = sched.policy.release(res);
+                    }
+                    if let Some(site) = job.site {
+                        sched.dec_outstanding(site);
+                    }
+                    // reset_for_replan is the Submitted|Queued|Running -> Ready edge.
+                    self.db
+                        .update::<JobRow>(job.id.as_key(), |j| j.reset_for_replan())?;
+                    if let Some(frontier) = self.frontiers.get_mut(&dag_id) {
+                        frontier.put_back(job.id.index);
+                    }
+                    self.telemetry.note_job_state(
+                        job.id.as_key(),
+                        dag_id.0,
+                        "ready",
+                        None,
+                        None,
+                        now,
+                    );
+                    reset += 1;
+                } else if job.state == JobState::Ready {
+                    if let Some(&site) = tracked.get(&job.id) {
+                        self.db.update::<JobRow>(job.id.as_key(), |j| {
+                            // sphinx-fsa: Ready -> Submitted
+                            j.advance(JobState::Submitted);
+                            j.site = Some(site);
+                            j.attempts += 1;
+                            j.submitted_at = Some(now);
+                        })?;
+                        if let Some(frontier) = self.frontiers.get_mut(&dag_id) {
+                            frontier.take(job.id.index);
+                        }
+                        self.telemetry.note_job_state(
+                            job.id.as_key(),
+                            dag_id.0,
+                            "submitted",
+                            Some(site),
+                            None,
+                            now,
+                        );
+                        repaired += 1;
+                    }
+                }
+            }
+        }
+        Ok((reset, repaired))
+    }
+
     /// The policy engine (to register VOs, users and quotas).
     pub fn policy_mut(&mut self) -> &mut PolicyEngine {
-        &mut self.policy
+        &mut self.sched.policy
     }
 
     /// Immutable policy access.
     pub fn policy(&self) -> &PolicyEngine {
-        &self.policy
+        &self.sched.policy
     }
 
     /// Planning statistics.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        self.sched.stats
     }
 
     /// Reliability index (for reporting).
     pub fn reliability(&self) -> &Reliability {
-        &self.reliability
+        &self.sched.reliability
     }
 
     /// Completion-time statistics (for reporting).
     pub fn prediction(&self) -> &Prediction {
-        &self.prediction
+        &self.sched.prediction
+    }
+
+    /// `(submitted, finished)` DAG counts, for aggregate progress checks.
+    pub(crate) fn progress(&self) -> (u64, u64) {
+        (self.dags_total, self.dags_finished)
     }
 
     /// The shared database handle.
@@ -400,18 +667,26 @@ impl SphinxServer {
         Ok(())
     }
 
-    fn dec_outstanding(&mut self, site: SiteId) {
-        if let Some(n) = self.outstanding.get_mut(&site) {
-            *n = n.saturating_sub(1);
-        }
-    }
-
     /// Process one tracker report (the message-handling module's work).
     ///
     /// Reports can be late, duplicated or outright bogus (a report for a
     /// job that was never planned); each arm guards on the automaton's
     /// current state and ignores reports the transition table forbids.
     pub fn handle_report(&mut self, report: StatusReport, now: SimTime) -> CoreResult<()> {
+        let mut sched = std::mem::take(&mut self.sched);
+        let result = self.handle_report_shared(&mut sched, report, now);
+        self.sched = sched;
+        result
+    }
+
+    /// [`Self::handle_report`] against an external [`SchedulerState`] (the
+    /// sharded coordinator's shared one).
+    pub(crate) fn handle_report_shared(
+        &mut self,
+        sched: &mut SchedulerState,
+        report: StatusReport,
+        now: SimTime,
+    ) -> CoreResult<()> {
         let job = report.job();
         let key = job.as_key();
         match report {
@@ -478,10 +753,10 @@ impl SphinxServer {
                 })?;
                 if let Some(res) = row.reservation {
                     let actual = Requirement::new(exec.as_secs_f64() as u64, 0);
-                    let _ = self.policy.commit(res, actual);
+                    let _ = sched.policy.commit(res, actual);
                 }
-                self.prediction.record(site, total);
-                let transition = self.reliability.record_completed_at(site, now);
+                sched.prediction.record(site, total);
+                let transition = sched.reliability.record_completed_at(site, now);
                 self.note_flag_transition(transition, site, now);
                 self.telemetry
                     .note_job_state(key, job.dag.0, "finished", Some(site), None, now);
@@ -498,7 +773,7 @@ impl SphinxServer {
                     s.completion_secs_sum += total.as_secs_f64();
                     s.completion_samples += 1;
                 })?;
-                self.dec_outstanding(site);
+                sched.dec_outstanding(site);
                 if let Some(frontier) = self.frontiers.get_mut(&job.dag) {
                     frontier.complete(job.index);
                     // Children whose last parent completed become Ready.
@@ -545,24 +820,24 @@ impl SphinxServer {
                     return Ok(()); // raced with completion, already replanned, or bogus
                 }
                 if let Some(res) = row.reservation {
-                    let _ = self.policy.release(res);
+                    let _ = sched.policy.release(res);
                 }
                 // reset_for_replan is the Submitted|Queued|Running -> Ready edge.
                 self.db.update::<JobRow>(key, |j| j.reset_for_replan())?;
-                let transition = self.reliability.record_cancelled_at(site, now);
+                let transition = sched.reliability.record_cancelled_at(site, now);
                 self.note_flag_transition(transition, site, now);
                 self.telemetry
                     .note_job_state(key, job.dag.0, "ready", None, None, now);
                 self.bump_site_stats(site, |s| s.cancelled += 1)?;
-                self.dec_outstanding(site);
+                sched.dec_outstanding(site);
                 let cause_label = match cause {
                     CancelCause::Held => {
-                        self.stats.reschedules_held += 1;
+                        sched.stats.reschedules_held += 1;
                         self.telemetry.counter_add("plan.reschedules_held", 1);
                         "held"
                     }
                     CancelCause::Timeout => {
-                        self.stats.reschedules_timeout += 1;
+                        sched.stats.reschedules_timeout += 1;
                         self.telemetry.counter_add("plan.reschedules_timeout", 1);
                         "timeout"
                     }
@@ -585,10 +860,29 @@ impl SphinxServer {
     /// Reduce newly received DAGs against the replica catalog (the DAG
     /// reducer module).
     fn reduce_received(&mut self, rls: &mut ReplicaService, now: SimTime) -> CoreResult<()> {
-        let received = self
+        for dag_row in self.received_dags()? {
+            self.reduce_dag_row(&dag_row, rls, now)?;
+        }
+        Ok(())
+    }
+
+    /// This server's `Received` DAG rows, in DAG-id order. The sharded
+    /// coordinator merges these across shards and reduces in global id
+    /// order so the trace is invariant to the shard count.
+    pub(crate) fn received_dags(&self) -> CoreResult<Vec<DagRow>> {
+        Ok(self
             .db
-            .scan_where::<DagRow>("/state", &serde_json::json!("Received"))?;
-        for dag_row in received {
+            .scan_where::<DagRow>("/state", &serde_json::json!("Received"))?)
+    }
+
+    /// Reduce one newly received DAG (one iteration of the reducer loop).
+    pub(crate) fn reduce_dag_row(
+        &mut self,
+        dag_row: &DagRow,
+        rls: &mut ReplicaService,
+        now: SimTime,
+    ) -> CoreResult<()> {
+        {
             let outputs: Vec<LogicalFile> = dag_row
                 .dag
                 .jobs
@@ -705,25 +999,22 @@ impl SphinxServer {
         reports: &BTreeMap<SiteId, Report>,
         transfers: &TransferModel,
     ) -> CoreResult<Vec<PlanNotice>> {
-        self.telemetry.counter_add("plan.cycles", 1);
-        if let Some(prev) = self.last_plan_at {
-            self.telemetry
-                .observe_ms("plan.cycle_gap_ms", now.since(prev));
-        }
-        self.last_plan_at = Some(now);
-        // Staleness of the monitoring data this cycle plans against —
-        // "sample age at use", the paper's §2 imperfection made visible.
-        for report in reports.values() {
-            self.telemetry
-                .observe_ms("monitor.sample_age_ms", report.age(now));
-        }
-        self.telemetry.trace(
-            TraceKind::PlanCycle,
-            now,
-            None,
-            None,
-            format!("reports={}", reports.len()),
-        );
+        let mut sched = std::mem::take(&mut self.sched);
+        let result = self.plan_cycle_shared(&mut sched, now, rls, reports, transfers);
+        self.sched = sched;
+        result
+    }
+
+    /// [`Self::plan_cycle`] against an external [`SchedulerState`].
+    fn plan_cycle_shared(
+        &mut self,
+        sched: &mut SchedulerState,
+        now: SimTime,
+        rls: &mut ReplicaService,
+        reports: &BTreeMap<SiteId, Report>,
+        transfers: &TransferModel,
+    ) -> CoreResult<Vec<PlanNotice>> {
+        cycle_prolog(&self.telemetry, sched, now, reports);
         // Phase spans mark the FSA pipeline stages inside one plan
         // cycle; instantaneous in sim time (the cycle itself consumes no
         // simulated duration) but causally ordered by span id.
@@ -733,77 +1024,27 @@ impl SphinxServer {
         let predict_span = self.telemetry.span_start("phase:predict", now);
         // The frontiers' ready sets mirror the `Ready` rows exactly and
         // avoid deserializing the whole job table every cycle.
-        let mut ready: Vec<JobId> = self
-            .frontiers
-            .iter()
-            .flat_map(|(&dag, f)| f.ready_iter().map(move |i| JobId::new(dag, i)))
-            .collect();
+        let mut entries = self.ready_entries(sched);
         // Planning order (QoS + §5 "policy and priorities of these jobs"):
         // earliest deadline first, then higher user priority, then stable
         // (dag, index) order. Deadlines and priorities come from the
-        // in-memory DAG metadata — no row decode — and the sort keys are
-        // materialized only when the sort will actually run (most cycles
-        // have neither deadlines nor differentiated priorities).
-        let mut any_deadline = false;
-        let mut first_priority = None;
-        let mut distinct_priorities = false;
-        for &d in self.frontiers.keys() {
-            let meta = self.dag_meta.get(&d);
-            any_deadline |= meta.is_some_and(|m| m.deadline.is_some());
-            let priority = meta
-                .and_then(|m| self.policy.priority_of(m.user))
-                .unwrap_or(0);
-            match first_priority {
-                None => first_priority = Some(priority),
-                Some(p) if p != priority => distinct_priorities = true,
-                _ => {}
-            }
-        }
+        // in-memory DAG metadata — no row decode — and the sort runs only
+        // when it can change the order (most cycles have neither deadlines
+        // nor differentiated priorities).
+        let any_deadline = entries.iter().any(|e| e.deadline.is_some());
+        let distinct_priorities = entries
+            .iter()
+            .zip(entries.iter().skip(1))
+            .any(|(a, b)| a.priority != b.priority);
         if any_deadline || distinct_priorities {
-            let rank_of: BTreeMap<DagId, (Option<SimTime>, u32)> = self
-                .frontiers
-                .keys()
-                .map(|&d| {
-                    let meta = self.dag_meta.get(&d);
-                    let deadline = meta.and_then(|m| m.deadline);
-                    let priority = meta
-                        .and_then(|m| self.policy.priority_of(m.user))
-                        .unwrap_or(0);
-                    (d, (deadline, priority))
-                })
-                .collect();
-            ready.sort_by_key(|j| {
-                let (deadline, priority) = rank_of.get(&j.dag).copied().unwrap_or((None, 0));
-                (
-                    deadline.unwrap_or(SimTime::MAX),
-                    std::cmp::Reverse(priority),
-                    j.dag,
-                    j.index,
-                )
-            });
+            sort_entries(&mut entries);
         }
-        let mut plans = Vec::new();
         // QoS fast lane: while deadline work is pending, reserve the
         // fastest-predicted site for it by steering deadline-free jobs
         // elsewhere (soft reservation — it is released the moment no
         // deadline DAG has ready work).
-        let deadline_pending = any_deadline
-            && ready.iter().any(|j| {
-                self.dag_meta
-                    .get(&j.dag)
-                    .is_some_and(|m| m.deadline.is_some())
-            });
-        let fast_lane: Option<SiteId> = if deadline_pending {
-            self.all_site_ids
-                .iter()
-                .copied()
-                .filter(|&s| self.prediction.samples(s) > 0)
-                .min_by(|&a, &b| {
-                    self.prediction
-                        .average(a)
-                        .unwrap_or(f64::INFINITY)
-                        .total_cmp(&self.prediction.average(b).unwrap_or(f64::INFINITY))
-                })
+        let fast_lane: Option<SiteId> = if any_deadline {
+            self.fast_lane_site(sched)
         } else {
             None
         };
@@ -811,151 +1052,214 @@ impl SphinxServer {
         let plan_span = self.telemetry.span_start("phase:plan", now);
         // The monotonicity argument that makes the lazy ranking exact only
         // holds within one plan phase; start every cycle cold.
-        self.score_cache.begin_cycle();
-        // Candidate scratch buffer: owned by the server so one allocation
-        // serves every job of every cycle.
-        let mut candidates = std::mem::take(&mut self.candidates_scratch);
-        let mut scratch_reused = 0u64;
-        for job_id in ready {
-            // Every planning input for the job's DAG comes from the
-            // in-memory mirror: no row fetch, no spec clone.
-            let Some(meta) = self.dag_meta.get(&job_id.dag) else {
-                continue;
-            };
-            let dag = Arc::clone(&meta.dag);
-            let user = meta.user;
-            let urgent = meta.deadline.is_some();
-            // Step 4 input: final outputs (nothing downstream consumes
-            // them) go to persistent storage; precomputed per DAG.
-            let is_sink = meta
-                .sinks
-                .get(job_id.index as usize)
-                .copied()
-                .unwrap_or(true);
-            let spec = dag
-                .job(job_id.index)
-                .ok_or(CoreError::Invariant("frontier index outside its dag"))?;
-            let requirement = Self::requirement_of(spec);
-            if candidates.capacity() >= self.all_site_ids.len() {
-                scratch_reused += 1;
+        sched.score_cache.begin_cycle();
+        let mut plans = Vec::new();
+        for entry in entries {
+            if let Some(plan) =
+                self.plan_one(sched, entry.job, fast_lane, now, rls, reports, transfers)?
+            {
+                plans.push(plan);
             }
-            candidates.clear();
-            // Policy filter (eq. 4) …
-            if self.config.policy_enabled {
-                candidates.extend(self.policy.feasible_sites(
-                    user,
-                    requirement,
-                    &self.all_site_ids,
-                ));
-            } else {
-                candidates.extend_from_slice(&self.all_site_ids);
-            }
-            // … then the feedback filter (in place; the all-flagged
-            // fallback keeps the list intact).
-            if self.config.effective_feedback() {
-                self.reliability.retain_reliable(&mut candidates, now);
-            }
-            // … then the QoS fast-lane reservation.
-            if let Some(fast) = fast_lane {
-                if !urgent && candidates.len() > 1 {
-                    candidates.retain(|&s| s != fast);
-                }
-            }
-            let view = PlanningView {
-                catalog: &self.catalog,
-                candidates: &candidates,
-                outstanding: &self.outstanding,
-                reports,
-                prediction: &self.prediction,
-            };
-            let chosen = if self.config.score_cache {
-                self.config.strategy.choose_cached(
-                    &view,
-                    &mut self.strategy_state,
-                    &mut self.score_cache,
-                )
-            } else {
-                // Reference path: identical decisions by full rescoring;
-                // still count would-be hits/misses so telemetry snapshots
-                // match the optimized path bit for bit.
-                if !candidates.is_empty() {
-                    self.score_cache
-                        .note_reference(self.config.strategy, &candidates);
-                }
-                self.config.strategy.choose(&view, &mut self.strategy_state)
-            };
-            let Some(site) = chosen else {
-                continue; // no feasible site now; stays Ready
-            };
-            let Some(staging) = Self::plan_staging(&dag, spec, site, rls, transfers) else {
-                continue; // an input has no replica yet; stays Ready
-            };
-            // Reserve quota for the attempt.
-            let reservation = if self.config.policy_enabled {
-                match self.policy.reserve(user, site, requirement) {
-                    Ok(r) => Some(r),
-                    Err(_) => continue, // quota raced away; stays Ready
-                }
-            } else {
-                None
-            };
-            self.db.update::<JobRow>(job_id.as_key(), |j| {
-                // sphinx-fsa: Ready -> Submitted
-                j.advance(JobState::Submitted);
-                j.site = Some(site);
-                j.reservation = reservation;
-                j.attempts += 1;
-                j.submitted_at = Some(now);
-            })?;
-            if let Some(frontier) = self.frontiers.get_mut(&job_id.dag) {
-                frontier.take(job_id.index);
-            }
-            *self.outstanding.entry(site).or_default() += 1;
-            self.stats.plans += 1;
-            self.telemetry.counter_add("plan.jobs_submitted", 1);
-            self.telemetry.note_job_state(
-                job_id.as_key(),
-                job_id.dag.0,
-                "submitted",
-                Some(site),
-                None,
-                now,
-            );
-            self.telemetry.trace(
-                TraceKind::JobSubmitted,
-                now,
-                Some(job_id.as_key()),
-                Some(site),
-                String::new(),
-            );
-            let archive_to = self.config.archive_site.filter(|_| is_sink);
-            plans.push(PlanNotice {
-                job: job_id,
-                site,
-                staging,
-                compute: spec.compute,
-                output: spec.output.clone(),
-                planned_at: now,
-                archive_to,
-            });
         }
-        self.candidates_scratch = candidates;
-        let (cache_hits, cache_misses) = self.score_cache.take_counters();
-        if cache_hits > 0 {
-            self.telemetry
-                .counter_add("plan.score_cache.hits", cache_hits);
-        }
-        if cache_misses > 0 {
-            self.telemetry
-                .counter_add("plan.score_cache.misses", cache_misses);
-        }
-        if scratch_reused > 0 {
-            self.telemetry
-                .counter_add("plan.scratch.reused", scratch_reused);
-        }
+        cycle_epilog(&self.telemetry, sched);
         self.telemetry.span_end(plan_span, now);
         Ok(plans)
     }
+
+    /// Every ready job across this server's frontiers, in (dag, index)
+    /// order, annotated with its planning-order keys.
+    pub(crate) fn ready_entries(&self, sched: &SchedulerState) -> Vec<ReadyEntry> {
+        let mut entries = Vec::new();
+        for (&dag, frontier) in &self.frontiers {
+            let meta = self.dag_meta.get(&dag);
+            let deadline = meta.and_then(|m| m.deadline);
+            let priority = meta
+                .and_then(|m| sched.policy.priority_of(m.user))
+                .unwrap_or(0);
+            entries.extend(frontier.ready_iter().map(|i| ReadyEntry {
+                job: JobId::new(dag, i),
+                deadline,
+                priority,
+            }));
+        }
+        entries
+    }
+
+    /// The fastest-predicted site with at least one completion sample —
+    /// the QoS fast lane's soft reservation target.
+    pub(crate) fn fast_lane_site(&self, sched: &SchedulerState) -> Option<SiteId> {
+        self.all_site_ids
+            .iter()
+            .copied()
+            .filter(|&s| sched.prediction.samples(s) > 0)
+            .min_by(|&a, &b| {
+                sched
+                    .prediction
+                    .average(a)
+                    .unwrap_or(f64::INFINITY)
+                    .total_cmp(&sched.prediction.average(b).unwrap_or(f64::INFINITY))
+            })
+    }
+
+    /// Plan one ready job (one iteration of the planner's job loop).
+    /// Returns `None` when the job must stay `Ready`: no feasible site, an
+    /// input without a replica, or a quota race.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn plan_one(
+        &mut self,
+        sched: &mut SchedulerState,
+        job_id: JobId,
+        fast_lane: Option<SiteId>,
+        now: SimTime,
+        rls: &mut ReplicaService,
+        reports: &BTreeMap<SiteId, Report>,
+        transfers: &TransferModel,
+    ) -> CoreResult<Option<PlanNotice>> {
+        // Every planning input for the job's DAG comes from the
+        // in-memory mirror: no row fetch, no spec clone.
+        let Some(meta) = self.dag_meta.get(&job_id.dag) else {
+            return Ok(None);
+        };
+        let dag = Arc::clone(&meta.dag);
+        let user = meta.user;
+        let urgent = meta.deadline.is_some();
+        // Step 4 input: final outputs (nothing downstream consumes
+        // them) go to persistent storage; precomputed per DAG.
+        let is_sink = meta
+            .sinks
+            .get(job_id.index as usize)
+            .copied()
+            .unwrap_or(true);
+        let spec = dag
+            .job(job_id.index)
+            .ok_or(CoreError::Invariant("frontier index outside its dag"))?;
+        let requirement = Self::requirement_of(spec);
+        // Candidate scratch buffer: owned by the scheduler state so one
+        // allocation serves every job of every cycle.
+        if sched.candidates_scratch.capacity() >= self.all_site_ids.len() {
+            sched.scratch_reused += 1;
+        }
+        sched.candidates_scratch.clear();
+        // Policy filter (eq. 4) …
+        if self.config.policy_enabled {
+            let feasible = sched
+                .policy
+                .feasible_sites(user, requirement, &self.all_site_ids);
+            sched.candidates_scratch.extend(feasible);
+        } else {
+            sched
+                .candidates_scratch
+                .extend_from_slice(&self.all_site_ids);
+        }
+        // … then the feedback filter (in place; the all-flagged
+        // fallback keeps the list intact).
+        if self.config.effective_feedback() {
+            sched
+                .reliability
+                .retain_reliable(&mut sched.candidates_scratch, now);
+        }
+        // … then the QoS fast-lane reservation.
+        if let Some(fast) = fast_lane {
+            if !urgent && sched.candidates_scratch.len() > 1 {
+                sched.candidates_scratch.retain(|&s| s != fast);
+            }
+        }
+        let view = PlanningView {
+            catalog: &self.catalog,
+            candidates: &sched.candidates_scratch,
+            outstanding: &sched.outstanding,
+            reports,
+            prediction: &sched.prediction,
+        };
+        let chosen = if self.config.score_cache {
+            self.config.strategy.choose_cached(
+                &view,
+                &mut sched.strategy_state,
+                &mut sched.score_cache,
+            )
+        } else {
+            // Reference path: identical decisions by full rescoring;
+            // still count would-be hits/misses so telemetry snapshots
+            // match the optimized path bit for bit.
+            if !sched.candidates_scratch.is_empty() {
+                sched
+                    .score_cache
+                    .note_reference(self.config.strategy, &sched.candidates_scratch);
+            }
+            self.config
+                .strategy
+                .choose(&view, &mut sched.strategy_state)
+        };
+        let Some(site) = chosen else {
+            return Ok(None); // no feasible site now; stays Ready
+        };
+        let Some(staging) = Self::plan_staging(&dag, spec, site, rls, transfers) else {
+            return Ok(None); // an input has no replica yet; stays Ready
+        };
+        // Reserve quota for the attempt.
+        let reservation = if self.config.policy_enabled {
+            match sched.policy.reserve(user, site, requirement) {
+                Ok(r) => Some(r),
+                Err(_) => return Ok(None), // quota raced away; stays Ready
+            }
+        } else {
+            None
+        };
+        self.db.update::<JobRow>(job_id.as_key(), |j| {
+            // sphinx-fsa: Ready -> Submitted
+            j.advance(JobState::Submitted);
+            j.site = Some(site);
+            j.reservation = reservation;
+            j.attempts += 1;
+            j.submitted_at = Some(now);
+        })?;
+        if let Some(frontier) = self.frontiers.get_mut(&job_id.dag) {
+            frontier.take(job_id.index);
+        }
+        *sched.outstanding.entry(site).or_default() += 1;
+        sched.stats.plans += 1;
+        self.telemetry.counter_add("plan.jobs_submitted", 1);
+        self.telemetry.note_job_state(
+            job_id.as_key(),
+            job_id.dag.0,
+            "submitted",
+            Some(site),
+            None,
+            now,
+        );
+        self.telemetry.trace(
+            TraceKind::JobSubmitted,
+            now,
+            Some(job_id.as_key()),
+            Some(site),
+            String::new(),
+        );
+        let archive_to = self.config.archive_site.filter(|_| is_sink);
+        Ok(Some(PlanNotice {
+            job: job_id,
+            site,
+            staging,
+            compute: spec.compute,
+            output: spec.output.clone(),
+            planned_at: now,
+            archive_to,
+        }))
+    }
+}
+
+/// Sort ready entries into planning order: earliest deadline first, then
+/// higher user priority, then stable (dag, index) order. Shared with the
+/// sharded coordinator, whose concatenated per-shard entries are not in
+/// (dag, index) order to begin with.
+pub(crate) fn sort_entries(entries: &mut [ReadyEntry]) {
+    entries.sort_by_key(|e| {
+        (
+            e.deadline.unwrap_or(SimTime::MAX),
+            std::cmp::Reverse(e.priority),
+            e.job.dag,
+            e.job.index,
+        )
+    });
 }
 
 impl std::fmt::Debug for SphinxServer {
@@ -963,7 +1267,7 @@ impl std::fmt::Debug for SphinxServer {
         f.debug_struct("SphinxServer")
             .field("strategy", &self.config.strategy)
             .field("dags", &self.db.count::<DagRow>())
-            .field("stats", &self.stats)
+            .field("stats", &self.sched.stats)
             .finish()
     }
 }
@@ -1318,11 +1622,14 @@ mod tests {
         }
         let mut s = server(StrategyKind::CompletionTime);
         // Teach the prediction module which site is fastest.
-        s.prediction
+        s.sched
+            .prediction
             .record(SiteId(1), sphinx_sim::Duration::from_secs(50));
-        s.prediction
+        s.sched
+            .prediction
             .record(SiteId(0), sphinx_sim::Duration::from_secs(500));
-        s.prediction
+        s.sched
+            .prediction
             .record(SiteId(2), sphinx_sim::Duration::from_secs(500));
         s.submit_dag(&dag_slow, UserId(1), SimTime::ZERO).unwrap();
         s.submit_dag_with_deadline(

@@ -124,6 +124,11 @@ impl Frontier {
     pub fn is_completed(&self, job: u32) -> bool {
         self.completed[job as usize]
     }
+
+    /// True if this job is in the ready set right now.
+    pub fn is_ready(&self, job: u32) -> bool {
+        self.ready.contains(&job)
+    }
 }
 
 #[cfg(test)]

@@ -119,13 +119,15 @@ pub struct ReadStats {
 pub(crate) type Tables = BTreeMap<String, BTreeMap<u64, serde_json::Value>>;
 
 /// Decoded rows, keyed by table then primary key. Entries are erased to
-/// `Any`; the typed read path downcasts back to `R`.
-type RowCache = BTreeMap<&'static str, BTreeMap<u64, Box<dyn Any + Send>>>;
+/// `Any`; the typed read path downcasts back to `R`. Keyed by the full
+/// (possibly namespaced) table name, never by `R::TABLE` alone — two
+/// namespaces sharing one database must not serve each other's decodes.
+type RowCache = BTreeMap<String, BTreeMap<u64, Box<dyn Any + Send>>>;
 
 /// A decoded row handed to the commit path so the cache can be primed
 /// without ever re-deserializing what the caller just serialized.
 pub(crate) struct Primed {
-    pub(crate) table: &'static str,
+    pub(crate) table: String,
     pub(crate) key: u64,
     pub(crate) row: Box<dyn Any + Send>,
 }
@@ -164,18 +166,23 @@ impl std::fmt::Debug for Database {
     }
 }
 
-fn encode<R: Record>(row: &R) -> Result<serde_json::Value, DbError> {
+fn encode<R: Record>(table: &str, row: &R) -> Result<serde_json::Value, DbError> {
     serde_json::to_value(row).map_err(|e| DbError::Codec {
-        table: R::TABLE.to_owned(),
+        table: table.to_owned(),
         message: e.to_string(),
     })
 }
 
-fn decode<R: Record>(value: &serde_json::Value) -> Result<R, DbError> {
+fn decode<R: Record>(table: &str, value: &serde_json::Value) -> Result<R, DbError> {
     serde_json::from_value(value.clone()).map_err(|e| DbError::Codec {
-        table: R::TABLE.to_owned(),
+        table: table.to_owned(),
         message: e.to_string(),
     })
+}
+
+/// The full table name for record type `R` inside namespace `ns`.
+fn ns_table<R: Record>(ns: &str) -> String {
+    format!("{ns}/{}", R::TABLE)
 }
 
 fn encode_entry(entry: &LogEntry) -> Result<String, DbError> {
@@ -428,26 +435,34 @@ impl Database {
 
     /// Insert a new row; fails on duplicate key.
     pub fn insert<R: Record>(&self, row: &R) -> Result<(), DbError> {
-        if self.contains::<R>(row.key()) {
+        self.insert_at(R::TABLE, row)
+    }
+
+    pub(crate) fn insert_at<R: Record>(&self, table: &str, row: &R) -> Result<(), DbError> {
+        if self.contains_at(table, row.key()) {
             return Err(DbError::DuplicateKey {
-                table: R::TABLE.to_owned(),
+                table: table.to_owned(),
                 key: row.key(),
             });
         }
-        self.put(row)
+        self.put_at(table, row)
     }
 
     /// Insert or overwrite a row.
     pub fn put<R: Record>(&self, row: &R) -> Result<(), DbError> {
-        let value = encode(row)?;
+        self.put_at(R::TABLE, row)
+    }
+
+    pub(crate) fn put_at<R: Record>(&self, table: &str, row: &R) -> Result<(), DbError> {
+        let value = encode(table, row)?;
         let op = Op::Put {
-            table: R::TABLE.to_owned(),
+            table: table.to_owned(),
             key: row.key(),
             row: value,
         };
         let primed = if self.config.cache {
             vec![Primed {
-                table: R::TABLE,
+                table: table.to_owned(),
                 key: row.key(),
                 row: Box::new(row.clone()),
             }]
@@ -461,18 +476,25 @@ impl Database {
     /// `None` and bumps [`Database::decode_failures`] — use the
     /// `Result`-returning scans where corruption must be surfaced.
     pub fn get<R: Record>(&self, key: u64) -> Option<R> {
+        self.get_at(R::TABLE, key)
+    }
+
+    pub(crate) fn get_at<R: Record>(&self, table: &str, key: u64) -> Option<R> {
         let tables = self.tables.lock();
-        let value = tables.get(R::TABLE)?.get(&key)?;
+        let value = tables.get(table)?.get(&key)?;
         if self.config.cache {
             let mut cache = self.cache.lock();
-            let tc = cache.entry(R::TABLE).or_default();
+            if !cache.contains_key(table) {
+                cache.insert(table.to_owned(), BTreeMap::new());
+            }
+            let tc = cache.get_mut(table)?;
             if let Some(row) = tc.get(&key).and_then(|b| b.downcast_ref::<R>()) {
                 let row = row.clone();
                 drop(cache);
                 self.note_reads(1, 0);
                 return Some(row);
             }
-            match decode::<R>(value) {
+            match decode::<R>(table, value) {
                 Ok(row) => {
                     tc.insert(key, Box::new(row.clone()));
                     drop(cache);
@@ -485,7 +507,7 @@ impl Database {
                 }
             }
         } else {
-            match decode::<R>(value) {
+            match decode::<R>(table, value) {
                 Ok(row) => {
                     self.note_reads(0, 1);
                     Some(row)
@@ -500,18 +522,26 @@ impl Database {
 
     /// True if the key exists.
     pub fn contains<R: Record>(&self, key: u64) -> bool {
+        self.contains_at(R::TABLE, key)
+    }
+
+    pub(crate) fn contains_at(&self, table: &str, key: u64) -> bool {
         self.tables
             .lock()
-            .get(R::TABLE)
+            .get(table)
             .is_some_and(|t| t.contains_key(&key))
     }
 
     /// Delete a row; returns whether it existed.
     pub fn delete<R: Record>(&self, key: u64) -> Result<bool, DbError> {
-        let existed = self.contains::<R>(key);
+        self.delete_at(R::TABLE, key)
+    }
+
+    pub(crate) fn delete_at(&self, table: &str, key: u64) -> Result<bool, DbError> {
+        let existed = self.contains_at(table, key);
         if existed {
             self.commit_ops(vec![Op::Del {
-                table: R::TABLE.to_owned(),
+                table: table.to_owned(),
                 key,
             }])?;
         }
@@ -521,12 +551,21 @@ impl Database {
     /// Read-modify-write one row under a single commit. Returns `false` if
     /// the row does not exist.
     pub fn update<R: Record>(&self, key: u64, f: impl FnOnce(&mut R)) -> Result<bool, DbError> {
-        let Some(mut row) = self.get::<R>(key) else {
+        self.update_at(R::TABLE, key, f)
+    }
+
+    pub(crate) fn update_at<R: Record>(
+        &self,
+        table: &str,
+        key: u64,
+        f: impl FnOnce(&mut R),
+    ) -> Result<bool, DbError> {
+        let Some(mut row) = self.get_at::<R>(table, key) else {
             return Ok(false);
         };
         f(&mut row);
         debug_assert_eq!(row.key(), key, "update must not change the key");
-        self.put(&row)?;
+        self.put_at(table, &row)?;
         Ok(true)
     }
 
@@ -536,6 +575,7 @@ impl Database {
     /// scans exist to prevent.
     fn materialize<'v, R: Record>(
         &self,
+        table: &str,
         rows: impl Iterator<Item = (u64, &'v serde_json::Value)>,
     ) -> Result<Vec<R>, DbError> {
         let mut out = Vec::new();
@@ -544,21 +584,30 @@ impl Database {
         let result = (|| {
             if self.config.cache {
                 let mut cache = self.cache.lock();
-                let tc = cache.entry(R::TABLE).or_default();
+                if !cache.contains_key(table) {
+                    cache.insert(table.to_owned(), BTreeMap::new());
+                }
+                let Some(tc) = cache.get_mut(table) else {
+                    for (_, value) in rows {
+                        out.push(decode(table, value)?);
+                        decoded += 1;
+                    }
+                    return Ok(());
+                };
                 for (key, value) in rows {
                     if let Some(row) = tc.get(&key).and_then(|b| b.downcast_ref::<R>()) {
                         hits += 1;
                         out.push(row.clone());
                         continue;
                     }
-                    let row: R = decode(value)?;
+                    let row: R = decode(table, value)?;
                     decoded += 1;
                     tc.insert(key, Box::new(row.clone()));
                     out.push(row);
                 }
             } else {
                 for (_, value) in rows {
-                    out.push(decode(value)?);
+                    out.push(decode(table, value)?);
                     decoded += 1;
                 }
             }
@@ -570,11 +619,15 @@ impl Database {
 
     /// All rows of a table, in key order.
     pub fn scan<R: Record>(&self) -> Result<Vec<R>, DbError> {
+        self.scan_at(R::TABLE)
+    }
+
+    pub(crate) fn scan_at<R: Record>(&self, table: &str) -> Result<Vec<R>, DbError> {
         let tables = self.tables.lock();
-        let Some(t) = tables.get(R::TABLE) else {
+        let Some(t) = tables.get(table) else {
             return Ok(Vec::new());
         };
-        self.materialize(t.iter().map(|(&k, v)| (k, v)))
+        self.materialize(table, t.iter().map(|(&k, v)| (k, v)))
     }
 
     /// Rows matching a predicate, in key order.
@@ -589,7 +642,11 @@ impl Database {
 
     /// Number of rows in a table.
     pub fn count<R: Record>(&self) -> usize {
-        self.tables.lock().get(R::TABLE).map_or(0, |t| t.len())
+        self.count_at(R::TABLE)
+    }
+
+    pub(crate) fn count_at(&self, table: &str) -> usize {
+        self.tables.lock().get(table).map_or(0, |t| t.len())
     }
 
     /// Largest key present in the table, if any.
@@ -644,12 +701,16 @@ impl Database {
             let Some(t) = tables.get(R::TABLE) else {
                 return Ok(Vec::new());
             };
-            return self.materialize(keys.into_iter().filter_map(|k| t.get(&k).map(|v| (k, v))));
+            return self.materialize(
+                R::TABLE,
+                keys.into_iter().filter_map(|k| t.get(&k).map(|v| (k, v))),
+            );
         }
         let Some(t) = tables.get(R::TABLE) else {
             return Ok(Vec::new());
         };
         self.materialize(
+            R::TABLE,
             t.iter()
                 .filter(|(_, v)| v.pointer(pointer).unwrap_or(&serde_json::Value::Null) == value)
                 .map(|(&k, v)| (k, v)),
@@ -722,6 +783,81 @@ impl Database {
             .lock()
             .get(table)
             .and_then(|t| t.keys().next_back().copied())
+    }
+
+    /// A handle addressing every table through the prefix `"{ns}/"`.
+    ///
+    /// Two namespaces on one shared database are fully isolated: rows,
+    /// decoded-row cache entries, and [`crate::Queue`] sequence counters
+    /// all live under the composed table name, so shard A can never read
+    /// shard B's rows (or, worse, B's stale cached decodes) through the
+    /// un-prefixed `R::TABLE` name.
+    pub fn namespace(&self, ns: impl Into<String>) -> Ns<'_> {
+        Ns {
+            db: self,
+            prefix: ns.into(),
+        }
+    }
+}
+
+/// A namespaced view over a shared [`Database`] (see [`Database::namespace`]).
+///
+/// Typed operations behave exactly like their `Database` counterparts but
+/// address table `"{ns}/{R::TABLE}"` instead of `R::TABLE`.
+pub struct Ns<'a> {
+    db: &'a Database,
+    prefix: String,
+}
+
+impl<'a> Ns<'a> {
+    /// The namespace prefix this handle addresses.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// The full table name used for record type `R`.
+    pub fn table_of<R: Record>(&self) -> String {
+        ns_table::<R>(&self.prefix)
+    }
+
+    /// Namespaced [`Database::insert`].
+    pub fn insert<R: Record>(&self, row: &R) -> Result<(), DbError> {
+        self.db.insert_at(&self.table_of::<R>(), row)
+    }
+
+    /// Namespaced [`Database::put`].
+    pub fn put<R: Record>(&self, row: &R) -> Result<(), DbError> {
+        self.db.put_at(&self.table_of::<R>(), row)
+    }
+
+    /// Namespaced [`Database::get`].
+    pub fn get<R: Record>(&self, key: u64) -> Option<R> {
+        self.db.get_at(&self.table_of::<R>(), key)
+    }
+
+    /// Namespaced [`Database::contains`].
+    pub fn contains<R: Record>(&self, key: u64) -> bool {
+        self.db.contains_at(&self.table_of::<R>(), key)
+    }
+
+    /// Namespaced [`Database::delete`].
+    pub fn delete<R: Record>(&self, key: u64) -> Result<bool, DbError> {
+        self.db.delete_at(&self.table_of::<R>(), key)
+    }
+
+    /// Namespaced [`Database::update`].
+    pub fn update<R: Record>(&self, key: u64, f: impl FnOnce(&mut R)) -> Result<bool, DbError> {
+        self.db.update_at(&self.table_of::<R>(), key, f)
+    }
+
+    /// Namespaced [`Database::scan`].
+    pub fn scan<R: Record>(&self) -> Result<Vec<R>, DbError> {
+        self.db.scan_at(&self.table_of::<R>())
+    }
+
+    /// Namespaced [`Database::count`].
+    pub fn count<R: Record>(&self) -> usize {
+        self.db.count_at(&self.table_of::<R>())
     }
 }
 
@@ -1096,6 +1232,68 @@ mod tests {
         assert_eq!(tel.counter("db.cache.hits"), 1);
         assert_eq!(tel.counter("db.rows.read"), 2);
         assert_eq!(tel.counter("db.rows.decoded"), 1);
+    }
+
+    #[test]
+    fn namespaces_do_not_share_rows_or_cached_decodes() {
+        // Regression test for the sharding latent bug: the decoded-row
+        // cache used to be keyed by `R::TABLE` alone, so two namespaces
+        // sharing one database could serve each other's stale decodes.
+        let db = Database::in_memory();
+        let a = db.namespace("shard0");
+        let b = db.namespace("shard1");
+        a.put(&item(1, "from-a", 10)).unwrap();
+        b.put(&item(1, "from-b", 20)).unwrap();
+        // Same record type, same key — reads must stay per-namespace even
+        // though both rows are primed in the cache.
+        assert_eq!(a.get::<Item>(1).unwrap().label, "from-a");
+        assert_eq!(b.get::<Item>(1).unwrap().label, "from-b");
+        assert_eq!(db.read_stats().rows_decoded, 0, "served from cache");
+        // Mutating one namespace invalidates only that namespace.
+        a.update::<Item>(1, |r| r.label = "a2".into()).unwrap();
+        assert_eq!(a.get::<Item>(1).unwrap().label, "a2");
+        assert_eq!(b.get::<Item>(1).unwrap().label, "from-b");
+        // The un-prefixed table is a third, independent space.
+        assert!(db.get::<Item>(1).is_none());
+        assert_eq!(a.count::<Item>(), 1);
+        assert_eq!(b.count::<Item>(), 1);
+        assert_eq!(db.count::<Item>(), 0);
+        // Deletes are namespace-local too.
+        assert!(a.delete::<Item>(1).unwrap());
+        assert!(a.get::<Item>(1).is_none());
+        assert_eq!(b.get::<Item>(1).unwrap().label, "from-b");
+    }
+
+    #[test]
+    fn namespaced_rows_survive_recovery() {
+        let wal = MemWal::shared();
+        {
+            let db = Database::with_wal(Box::new(wal.clone()));
+            db.namespace("s0").insert(&item(1, "zero", 0)).unwrap();
+            db.namespace("s1").insert(&item(1, "one", 1)).unwrap();
+        }
+        let db = Database::recover(Box::new(wal)).unwrap();
+        assert_eq!(db.namespace("s0").get::<Item>(1).unwrap().label, "zero");
+        assert_eq!(db.namespace("s1").get::<Item>(1).unwrap().label, "one");
+        let ns = db.namespace("s0");
+        let rows = ns.scan::<Item>().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(ns.table_of::<Item>(), "s0/items");
+    }
+
+    #[test]
+    fn namespace_insert_rejects_duplicates_per_namespace() {
+        let db = Database::in_memory();
+        let a = db.namespace("s0");
+        a.insert(&item(1, "x", 1)).unwrap();
+        assert!(matches!(
+            a.insert(&item(1, "x2", 2)),
+            Err(DbError::DuplicateKey { key: 1, .. })
+        ));
+        // The same key is fresh in another namespace.
+        db.namespace("s1").insert(&item(1, "y", 1)).unwrap();
+        assert!(a.contains::<Item>(1));
+        assert!(db.namespace("s1").contains::<Item>(1));
     }
 
     #[test]

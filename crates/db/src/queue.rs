@@ -39,6 +39,16 @@ impl<'a, M: Serialize + DeserializeOwned> Queue<'a, M> {
         }
     }
 
+    /// Attach to (or create) the queue `name` inside namespace `ns`.
+    ///
+    /// Both the message table and the sequence-counter table live under
+    /// `"{ns}/"`, so two shards sharing one database each get their own
+    /// FIFO and their own monotonic sequence space — pushes in one
+    /// namespace never advance (or read) the other's counter.
+    pub fn namespaced(db: &'a Database, ns: &str, name: &str) -> Self {
+        Queue::new(db, format!("{ns}/{name}"))
+    }
+
     fn codec_err(&self, e: impl std::fmt::Display) -> DbError {
         DbError::Codec {
             table: self.table.clone(),
@@ -206,6 +216,49 @@ mod tests {
         qa.push(&m("to-a")).unwrap();
         assert!(qb.is_empty());
         assert_eq!(qa.len(), 1);
+    }
+
+    #[test]
+    fn namespaced_queues_keep_independent_sequences() {
+        // Regression test for the sharding latent bug: two shards sharing
+        // one grid database must not interleave their queue sequence
+        // counters through the shared logical queue name.
+        let db = Database::in_memory();
+        let qa: Queue<Msg> = Queue::namespaced(&db, "shard0", "inbox");
+        let qb: Queue<Msg> = Queue::namespaced(&db, "shard1", "inbox");
+        assert_eq!(qa.push(&m("a0")).unwrap(), 0);
+        assert_eq!(qa.push(&m("a1")).unwrap(), 1);
+        // Shard 1's counter starts from zero; shard 0's pushes are invisible.
+        assert_eq!(qb.push(&m("b0")).unwrap(), 0);
+        assert_eq!(qa.push(&m("a2")).unwrap(), 2);
+        assert_eq!(qb.push(&m("b1")).unwrap(), 1);
+        assert_eq!(qa.len(), 3);
+        assert_eq!(qb.len(), 2);
+        let drained_b = qb.drain().unwrap();
+        assert_eq!(drained_b[0].body, "b0");
+        assert_eq!(qa.len(), 3, "draining one namespace leaves the other");
+        assert_eq!(qa.pop().unwrap().unwrap().body, "a0");
+    }
+
+    #[test]
+    fn namespaced_queue_sequences_survive_recovery() {
+        let wal = MemWal::shared();
+        {
+            let db = Database::with_wal(Box::new(wal.clone()));
+            let qa: Queue<Msg> = Queue::namespaced(&db, "shard0", "inbox");
+            let qb: Queue<Msg> = Queue::namespaced(&db, "shard1", "inbox");
+            qa.push(&m("a0")).unwrap();
+            qa.push(&m("a1")).unwrap();
+            qb.push(&m("b0")).unwrap();
+            qa.drain().unwrap();
+        }
+        let db = Database::recover(Box::new(wal)).unwrap();
+        let qa: Queue<Msg> = Queue::namespaced(&db, "shard0", "inbox");
+        let qb: Queue<Msg> = Queue::namespaced(&db, "shard1", "inbox");
+        // Each namespace resumes its own sequence space after the crash.
+        assert_eq!(qa.push(&m("a2")).unwrap(), 2);
+        assert_eq!(qb.push(&m("b1")).unwrap(), 1);
+        assert_eq!(qb.len(), 2);
     }
 
     #[test]

@@ -120,7 +120,7 @@ impl<'a> Txn<'a> {
         });
         if self.db.config().cache {
             self.primed.push(Primed {
-                table: R::TABLE,
+                table: R::TABLE.to_owned(),
                 key: row.key(),
                 row: Box::new(row.clone()),
             });

@@ -231,6 +231,19 @@ impl PolicyEngine {
         self.users.get(&user)?.quotas.get(&site).copied()
     }
 
+    /// Total charged usage (used + reserved) across every user at `site`.
+    /// The sharded coordinator debits this against its per-site
+    /// quota-lease ledger so cross-shard fairness is auditable from the
+    /// database alone.
+    pub fn site_usage(&self, site: SiteId) -> Requirement {
+        self.users
+            .values()
+            .filter_map(|u| u.quotas.get(&site))
+            .fold(Requirement::default(), |acc, q| {
+                acc.plus(q.used).plus(q.reserved)
+            })
+    }
+
     /// Eq. 4: the subset of `sites` where the user's remaining quota
     /// covers `required`. A user unknown to the engine gets no sites; a
     /// site with no allocation is infeasible.
@@ -383,6 +396,25 @@ mod tests {
         assert_eq!(acct.reserved, Requirement::default());
         assert_eq!(acct.remaining(), Requirement::new(3520, 950));
         assert_eq!(e.outstanding_reservations(), 0);
+    }
+
+    #[test]
+    fn site_usage_sums_used_and_reserved_across_users() {
+        let mut e = engine_with_user();
+        e.add_user(UserId(2), VoId(0), 5);
+        e.grant(UserId(2), SiteId(0), Requirement::new(500, 200));
+        let r1 = e
+            .reserve(UserId(1), SiteId(0), Requirement::new(100, 50))
+            .unwrap();
+        let _r2 = e
+            .reserve(UserId(2), SiteId(0), Requirement::new(30, 10))
+            .unwrap();
+        e.commit(r1, Requirement::new(80, 50)).unwrap();
+        // User 1 contributes 80/50 used; user 2 contributes 30/10 reserved.
+        assert_eq!(e.site_usage(SiteId(0)), Requirement::new(110, 60));
+        // Other sites are untouched; unknown sites read as zero.
+        assert_eq!(e.site_usage(SiteId(1)), Requirement::default());
+        assert_eq!(e.site_usage(SiteId(9)), Requirement::default());
     }
 
     #[test]

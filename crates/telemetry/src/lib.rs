@@ -110,6 +110,14 @@ pub enum TraceKind {
     GridCancel,
     /// A server was reconstructed from a surviving database.
     Recovery,
+    /// Sharded coordination: a scheduler shard's sim-time lease was
+    /// granted (or renewed after adoption rebalancing).
+    LeaseGranted,
+    /// Sharded coordination: a shard's lease expired (missed heartbeats).
+    LeaseExpired,
+    /// Sharded coordination: a surviving shard adopted a dead shard's
+    /// DAG partition after WAL replay.
+    ShardAdoption,
 }
 
 impl TraceKind {
@@ -136,6 +144,9 @@ impl TraceKind {
             TraceKind::GridHold => "grid_hold",
             TraceKind::GridCancel => "grid_cancel",
             TraceKind::Recovery => "recovery",
+            TraceKind::LeaseGranted => "lease_granted",
+            TraceKind::LeaseExpired => "lease_expired",
+            TraceKind::ShardAdoption => "shard_adoption",
         }
     }
 }

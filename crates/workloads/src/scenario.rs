@@ -226,6 +226,68 @@ impl Scenario {
     pub fn run(&self) -> RunReport {
         self.build_runtime().run()
     }
+
+    /// Assemble a **sharded** deployment of this scenario: the same grid,
+    /// replica seeding and workload as [`Scenario::build_runtime`], but
+    /// with `shard_config.shards` scheduler shards over a partitioned DAG
+    /// space (see `sphinx_core::shard`). DAGs route to their partition
+    /// owner at submission; crash-free runs produce the same aggregate
+    /// report for any shard count.
+    pub fn build_sharded_runtime(
+        &self,
+        shard_config: sphinx_core::shard::ShardConfig,
+    ) -> sphinx_core::shard::ShardedRuntime {
+        let sites = self.faulted_sites();
+        let site_ids: Vec<SiteId> = sites.iter().map(|s| s.id).collect();
+        let mut grid = GridSim::new(sites, self.transfer_model(), self.seed);
+        let dags = self.dags();
+        let mut rng = SimRng::new(self.seed).derive("replica-seed");
+        for dag in &dags {
+            for file in dag.external_inputs() {
+                for _ in 0..self.external_replicas.max(1) {
+                    let site = *rng.choose(&site_ids);
+                    grid.rls_mut().register(file.clone(), site);
+                }
+            }
+        }
+        let mut config = RuntimeConfig {
+            strategy: self.strategy,
+            feedback: self.feedback,
+            policy_enabled: self.quota.is_some(),
+            archive_site: self.archive_site,
+            timeout: self.timeout,
+            monitor: self.monitor.clone(),
+            horizon: self.horizon,
+            seed: self.seed,
+            score_cache: !self.no_score_cache,
+            ..RuntimeConfig::default()
+        };
+        config.telemetry.wall_clock = self.wall_clock_telemetry;
+        if let Some((trace, span)) = self.telemetry_capacities {
+            config.telemetry.trace_capacity = trace;
+            config.telemetry.span_capacity = span;
+        }
+        let mut rt = sphinx_core::shard::ShardedRuntime::new(grid, config, shard_config);
+        if let Some(quota) = self.quota {
+            let policy = rt.policy_mut();
+            policy.add_vo(VoId(0), "uscms");
+            policy.add_user(UserId(1), VoId(0), 10);
+            for &site in &site_ids {
+                policy.grant(UserId(1), site, quota);
+            }
+        }
+        let total = dags.len() as u32;
+        for (i, dag) in dags.iter().enumerate() {
+            let result = match self.deadline_last {
+                Some((n, within)) if (i as u32) >= total.saturating_sub(n) => {
+                    rt.submit_dag_with_deadline(dag, UserId(1), within)
+                }
+                _ => rt.submit_dag(dag, UserId(1)),
+            };
+            result.expect("dag submission to a fresh sharded runtime");
+        }
+        rt
+    }
 }
 
 /// Builder for [`Scenario`].
