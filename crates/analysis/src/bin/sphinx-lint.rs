@@ -3,11 +3,11 @@
 //! Exit status 0 means no errors (warnings are printed but tolerated);
 //! 1 means at least one error; 2 means the tool itself could not run.
 
-use sphinx_analysis::{find_workspace_root, has_errors, run_check, Severity};
+use sphinx_analysis::{find_workspace_root, has_errors, run_check, Finding, Severity};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: sphinx-lint check [--update-ratchet]");
+    eprintln!("usage: sphinx-lint check [--update-ratchet] [--json]");
     eprintln!("       sphinx-lint validate-prom <file>");
     eprintln!();
     eprintln!("Runs the workspace static-analysis pass:");
@@ -17,13 +17,64 @@ fn usage() -> ExitCode {
         sphinx_analysis::determinism::ALL_RULES.join(", ")
     );
     eprintln!("  - FSA transition-table verification over crates/core");
-    eprintln!("  - panic-path ratchet over crates/core, crates/db and crates/telemetry");
+    eprintln!("  - call-graph hot-path allocation lint (// sphinx-hot roots)");
+    eprintln!("  - interprocedural lock-order / lock-reentry lint");
+    eprintln!("  - the ratchets.toml budgets (panics, hot-alloc, hot-lock-acquisitions)");
     eprintln!();
-    eprintln!("  --update-ratchet   re-record the panic budget at the observed counts");
+    eprintln!("  --update-ratchet   re-record all budgets at the observed counts");
+    eprintln!("  --json             emit a machine-readable report on stdout");
     eprintln!();
     eprintln!("`validate-prom` parses a Prometheus text-exposition file with the");
     eprintln!("telemetry exporter's own validator (CI runs it on results/metrics.prom).");
     ExitCode::from(2)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the findings as a JSON report (this crate has no serde).
+fn render_json(findings: &[Finding]) -> String {
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"errors\": {errors},\n"));
+    out.push_str(&format!("  \"warnings\": {},\n", findings.len() - errors));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        let sev = match f.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+             \"severity\": \"{sev}\", \"message\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            json_escape(f.rule),
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
 }
 
 fn validate_prom(path: &str) -> ExitCode {
@@ -60,11 +111,13 @@ fn main() -> ExitCode {
         return validate_prom(path);
     }
     let mut update_ratchet = false;
+    let mut json = false;
     let mut command = None;
     for arg in &args {
         match arg.as_str() {
             "check" if command.is_none() => command = Some("check"),
             "--update-ratchet" => update_ratchet = true,
+            "--json" => json = true,
             "--help" | "-h" => return usage(),
             other => {
                 eprintln!("sphinx-lint: unknown argument `{other}`");
@@ -96,6 +149,14 @@ fn main() -> ExitCode {
         }
     };
 
+    if json {
+        print!("{}", render_json(&findings));
+        return if has_errors(&findings) {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     for finding in &findings {
         println!("{finding}");
     }
@@ -105,7 +166,7 @@ fn main() -> ExitCode {
         .count();
     let warnings = findings.len() - errors;
     if update_ratchet {
-        println!("sphinx-lint: panic ratchet re-recorded");
+        println!("sphinx-lint: ratchets re-recorded");
     }
     if findings.is_empty() {
         println!("sphinx-lint: clean");

@@ -1,0 +1,710 @@
+//! A lightweight call-reachability graph over the lexed workspace.
+//!
+//! The interprocedural analyzers ([`crate::hotpath`], [`crate::locks`])
+//! need to know which functions can call which, without `syn` and
+//! without type information. This module extracts function definitions
+//! (with their surrounding `impl`/`trait` type, if any) and call sites
+//! from the token streams, then resolves calls to definitions with
+//! deliberately conservative rules:
+//!
+//! - `Type::name(...)` and `Self::name(...)` resolve against the impl
+//!   type; `self.name(...)` prefers a method of the enclosing impl.
+//! - An unqualified `.name(...)` method call resolves only when the name
+//!   is not a ubiquitous std method (`clone`, `push`, `get`, ...) and at
+//!   most [`MAX_FANOUT`] workspace definitions share it — in which case
+//!   it resolves to *all* of them. Over-approximating dynamic dispatch
+//!   this way is what lets `wal.append(...)` reach every `Wal` impl.
+//! - Everything else produces no edge. Missing edges make the analysis
+//!   under-approximate reachability; the ratchet budgets absorb that.
+//!
+//! Functions marked with a `// sphinx-hot` comment are hot roots; the
+//! transitive closure over call edges is the hot set.
+
+use crate::lexer::{DirectiveKind, SourceFile, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// A method call whose name is so common in std that resolving it by
+/// name alone would wire unrelated code together (`v.clone()` must not
+/// resolve to some workspace type's `clone`). Qualified calls and
+/// `self.`-receiver calls into the same impl bypass this list.
+const AMBIGUOUS_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "append_str",
+    "as_bytes",
+    "as_deref",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "capacity",
+    "chain",
+    "chars",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "extend",
+    "extend_from_slice",
+    "fetch_add",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "flush",
+    "fmt",
+    "fold",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "load",
+    "lock",
+    "map",
+    "map_err",
+    "map_or",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "next",
+    "next_back",
+    "ok",
+    "or_default",
+    "or_insert",
+    "or_insert_with",
+    "parse",
+    "partial_cmp",
+    "peek",
+    "pop",
+    "pop_back",
+    "pop_front",
+    "position",
+    "push",
+    "push_back",
+    "push_front",
+    "read",
+    "remove",
+    "replace",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "saturating_add",
+    "saturating_mul",
+    "saturating_sub",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "splice",
+    "split",
+    "split_off",
+    "starts_with",
+    "store",
+    "sum",
+    "swap",
+    "take",
+    "then",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "total_cmp",
+    "trim",
+    "truncate",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "windows",
+    "with_capacity",
+    "wrapping_add",
+    "write",
+    "zip",
+];
+
+/// Keywords that can be followed by `(` without being a call.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "in", "as", "move", "fn", "let",
+    "mut", "ref", "box", "await", "impl", "dyn", "where", "use", "pub", "crate",
+];
+
+/// Most definitions an unqualified method call may fan out to.
+pub const MAX_FANOUT: usize = 3;
+
+/// One function definition found in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    /// Enclosing `impl`/`trait` target type, if any.
+    pub impl_type: Option<String>,
+    /// Crate directory the file belongs to, e.g. `crates/core`.
+    pub crate_dir: String,
+    /// Index into the file slice handed to [`CallGraph::build`].
+    pub file_idx: usize,
+    /// Line of the `fn` keyword, 1-based.
+    pub line: u32,
+    /// Token-index range of the body (between the braces); empty for
+    /// bodiless trait declarations.
+    pub body: Range<usize>,
+    /// Marked `// sphinx-hot`.
+    pub hot: bool,
+}
+
+impl FnDef {
+    /// `Type::name` or plain `name`, for messages.
+    pub fn qualified_name(&self) -> String {
+        match &self.impl_type {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A resolved call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Token index of the callee name in the caller's file.
+    pub token_idx: usize,
+    pub line: u32,
+    /// Resolved definition ids (several under fan-out).
+    pub callees: Vec<usize>,
+}
+
+/// The resolved call graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    pub fns: Vec<FnDef>,
+    /// `edges[caller]` = resolved callee ids.
+    pub edges: Vec<BTreeSet<usize>>,
+    /// `call_sites[caller]` = resolved call sites in body order.
+    pub call_sites: Vec<Vec<CallSite>>,
+    /// Per function: body token ranges of *other* functions nested
+    /// inside it, to exclude when scanning its own tokens.
+    nested: Vec<Vec<Range<usize>>>,
+}
+
+impl CallGraph {
+    /// Build the graph from lexed files, each tagged with its crate dir.
+    pub fn build(files: &[(String, SourceFile)]) -> CallGraph {
+        let mut fns = Vec::new();
+        for (file_idx, (crate_dir, file)) in files.iter().enumerate() {
+            extract_fns(crate_dir, file_idx, file, &mut fns);
+        }
+
+        // Name indexes for resolution.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_impl: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push(id);
+            match &f.impl_type {
+                Some(ty) => by_impl.entry((ty, &f.name)).or_default().push(id),
+                None => free_by_name.entry(&f.name).or_default().push(id),
+            }
+        }
+
+        let nested: Vec<Vec<Range<usize>>> = fns
+            .iter()
+            .map(|f| {
+                fns.iter()
+                    .filter(|g| {
+                        g.file_idx == f.file_idx
+                            && g.body != f.body
+                            && g.body.start >= f.body.start
+                            && g.body.end <= f.body.end
+                    })
+                    .map(|g| g.body.clone())
+                    .collect()
+            })
+            .collect();
+
+        let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); fns.len()];
+        let mut call_sites: Vec<Vec<CallSite>> = vec![Vec::new(); fns.len()];
+        for id in 0..fns.len() {
+            let caller = &fns[id];
+            let toks = &files[caller.file_idx].1.tokens;
+            for j in body_indices(&caller.body, &nested[id]) {
+                let callees: Vec<usize> =
+                    resolve_call(toks, j, caller, &by_name, &by_impl, &free_by_name)
+                        .into_iter()
+                        .filter(|&c| c != id)
+                        .collect();
+                if !callees.is_empty() {
+                    edges[id].extend(callees.iter().copied());
+                    call_sites[id].push(CallSite {
+                        token_idx: j,
+                        line: toks[j].line,
+                        callees,
+                    });
+                }
+            }
+        }
+        CallGraph {
+            fns,
+            edges,
+            call_sites,
+            nested,
+        }
+    }
+
+    /// Token indices of `id`'s own body, excluding nested fn bodies.
+    pub fn body_indices(&self, id: usize) -> Vec<usize> {
+        body_indices(&self.fns[id].body, &self.nested[id])
+    }
+
+    /// Ids of functions marked `// sphinx-hot`.
+    pub fn hot_roots(&self) -> BTreeSet<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.hot)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Everything reachable from the hot roots (roots included).
+    pub fn hot_set(&self) -> BTreeSet<usize> {
+        let edges: BTreeMap<usize, BTreeSet<usize>> = self
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(id, e)| (id, e.clone()))
+            .collect();
+        reachable(&edges, &self.hot_roots())
+    }
+
+    /// All definitions named `name`, for tests and messages.
+    pub fn lookup(&self, name: &str) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.name == name)
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// Forward reachability over an adjacency map: the set of nodes
+/// reachable from `roots`, roots included. Exposed as a plain function
+/// on plain maps so property tests can drive it directly — adding an
+/// edge or a root may only ever grow the result (monotonicity).
+pub fn reachable(
+    edges: &BTreeMap<usize, BTreeSet<usize>>,
+    roots: &BTreeSet<usize>,
+) -> BTreeSet<usize> {
+    let mut seen: BTreeSet<usize> = roots.clone();
+    let mut queue: Vec<usize> = roots.iter().copied().collect();
+    while let Some(n) = queue.pop() {
+        if let Some(next) = edges.get(&n) {
+            for &m in next {
+                if seen.insert(m) {
+                    queue.push(m);
+                }
+            }
+        }
+    }
+    seen
+}
+
+fn body_indices(body: &Range<usize>, nested: &[Range<usize>]) -> Vec<usize> {
+    body.clone()
+        .filter(|j| !nested.iter().any(|r| r.contains(j)))
+        .collect()
+}
+
+/// Extract every `fn` definition in `file`, tracking enclosing
+/// `impl`/`trait` blocks and `// sphinx-hot` markers.
+fn extract_fns(crate_dir: &str, file_idx: usize, file: &SourceFile, out: &mut Vec<FnDef>) {
+    let toks = &file.tokens;
+    let first = out.len();
+    let mut depth = 0usize;
+    // (target type, depth just inside the block's `{`)
+    let mut impl_stack: Vec<(String, usize)> = Vec::new();
+    let mut pending_impl: Option<String> = None;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            depth += 1;
+            if let Some(ty) = pending_impl.take() {
+                impl_stack.push((ty, depth));
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            while impl_stack.last().is_some_and(|&(_, d)| depth < d) {
+                impl_stack.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if (t.is_ident("impl") || t.is_ident("trait")) && pending_impl.is_none() {
+            if let Some((ty, next)) = parse_impl_target(toks, i) {
+                pending_impl = Some(ty);
+                i = next;
+                continue;
+            }
+        }
+        if t.is_ident("fn") && toks.get(i + 1).is_some_and(|n| n.kind == TokenKind::Ident) {
+            let name = toks[i + 1].text.clone();
+            let line = t.line;
+            // Scan to the body's `{` or a bodiless decl's `;`. Braces
+            // cannot appear earlier in a signature.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                j += 1;
+            }
+            let body = if toks.get(j).is_some_and(|t| t.is_punct("{")) {
+                let mut d = 0usize;
+                let mut k = j;
+                while k < toks.len() {
+                    if toks[k].is_punct("{") {
+                        d += 1;
+                    } else if toks[k].is_punct("}") {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                (j + 1)..k
+            } else {
+                j..j
+            };
+            out.push(FnDef {
+                name,
+                impl_type: impl_stack.last().map(|(ty, _)| ty.clone()),
+                crate_dir: crate_dir.to_owned(),
+                file_idx,
+                line,
+                body,
+                hot: false,
+            });
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+
+    // Attach `// sphinx-hot` markers: a marker covers the first fn whose
+    // `fn` keyword is on the marker's line (trailing form) or below it
+    // (standalone form, attributes in between allowed).
+    for d in &file.directives {
+        if d.kind != DirectiveKind::Hot {
+            continue;
+        }
+        if let Some(f) = out[first..]
+            .iter_mut()
+            .filter(|f| f.line >= d.line)
+            .min_by_key(|f| f.line)
+        {
+            f.hot = true;
+        }
+    }
+}
+
+/// Parse the target type of `impl`/`trait` at `i`; returns the type name
+/// and the index to resume scanning from (before the body `{`).
+fn parse_impl_target(toks: &[Token], i: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    // Generic params on the impl itself.
+    if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+        j = skip_angles(toks, j);
+    }
+    let (first, mut j) = parse_type_path(toks, j)?;
+    if toks.get(j).is_some_and(|t| t.is_ident("for")) {
+        let (second, next) = parse_type_path(toks, j + 1)?;
+        j = next;
+        return Some((second, j));
+    }
+    Some((first, j))
+}
+
+/// Parse a type path (`a::b::Type<...>`), returning the last segment.
+fn parse_type_path(toks: &[Token], mut j: usize) -> Option<(String, usize)> {
+    // Skip reference/pointer sigils and lifetimes: `&'a mut Type`.
+    while toks.get(j).is_some_and(|t| {
+        t.is_punct("&") || t.is_ident("mut") || t.is_ident("dyn") || t.kind == TokenKind::Lifetime
+    }) {
+        j += 1;
+    }
+    let mut last = None;
+    loop {
+        let t = toks.get(j)?;
+        if t.kind != TokenKind::Ident || t.is_ident("for") || t.is_ident("where") {
+            break;
+        }
+        last = Some(t.text.clone());
+        j += 1;
+        if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+            j = skip_angles(toks, j);
+        }
+        if toks.get(j).is_some_and(|t| t.is_punct("::")) {
+            j += 1;
+            continue;
+        }
+        break;
+    }
+    last.map(|l| (l, j))
+}
+
+/// Skip a `<...>` group starting at the `<` in `toks[j]`, tolerating the
+/// lexer's `>>` in non-turbofish positions.
+fn skip_angles(toks: &[Token], mut j: usize) -> usize {
+    let mut depth = 0isize;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "<" if toks[j].kind == TokenKind::Punct => depth += 1,
+            ">" if toks[j].kind == TokenKind::Punct => depth -= 1,
+            ">>" if toks[j].kind == TokenKind::Punct => depth -= 2,
+            _ => {}
+        }
+        j += 1;
+        if depth <= 0 {
+            break;
+        }
+    }
+    j
+}
+
+/// If `toks[j]` is the name of a call site, resolve it to definition
+/// ids (possibly several for fan-out, usually zero or one).
+fn resolve_call(
+    toks: &[Token],
+    j: usize,
+    caller: &FnDef,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    by_impl: &BTreeMap<(&str, &str), Vec<usize>>,
+    free_by_name: &BTreeMap<&str, Vec<usize>>,
+) -> Vec<usize> {
+    let t = &toks[j];
+    if t.kind != TokenKind::Ident || CALL_KEYWORDS.contains(&t.text.as_str()) {
+        return Vec::new();
+    }
+    // A call name is followed by `(`, optionally after a turbofish.
+    let mut k = j + 1;
+    if toks.get(k).is_some_and(|t| t.is_punct("::"))
+        && toks.get(k + 1).is_some_and(|t| t.is_punct("<"))
+    {
+        k = skip_angles(toks, k + 1);
+    }
+    if !toks.get(k).is_some_and(|t| t.is_punct("(")) {
+        return Vec::new();
+    }
+    let name = t.text.as_str();
+    let prev = j.checked_sub(1).map(|p| &toks[p]);
+
+    // `fn name(` is a definition, not a call.
+    if prev.is_some_and(|p| p.is_ident("fn")) {
+        return Vec::new();
+    }
+
+    if prev.is_some_and(|p| p.is_punct(".")) {
+        // Method call. `self.name(...)` resolves within the impl first.
+        let receiver_is_self = j >= 2 && toks[j - 2].is_ident("self");
+        if receiver_is_self {
+            if let Some(ty) = &caller.impl_type {
+                if let Some(ids) = by_impl.get(&(ty.as_str(), name)) {
+                    return ids.clone();
+                }
+            }
+        }
+        if AMBIGUOUS_METHODS.contains(&name) {
+            return Vec::new();
+        }
+        match by_name.get(name) {
+            Some(ids) if ids.len() <= MAX_FANOUT => ids.clone(),
+            _ => Vec::new(),
+        }
+    } else if prev.is_some_and(|p| p.is_punct("::")) {
+        // Qualified call: `Type::name(...)`, `Self::name(...)`, or a
+        // module path `module::name(...)`.
+        let Some(q) = j.checked_sub(2).map(|p| &toks[p]) else {
+            return Vec::new();
+        };
+        if q.kind != TokenKind::Ident {
+            return Vec::new();
+        }
+        let qualifier = if q.is_ident("Self") {
+            match &caller.impl_type {
+                Some(ty) => ty.clone(),
+                None => return Vec::new(),
+            }
+        } else {
+            q.text.clone()
+        };
+        if let Some(ids) = by_impl.get(&(qualifier.as_str(), name)) {
+            return ids.clone();
+        }
+        // Module-qualified free function.
+        match free_by_name.get(name) {
+            Some(ids) if ids.len() == 1 => ids.clone(),
+            _ => Vec::new(),
+        }
+    } else {
+        // Unqualified free call.
+        if name == "drop" {
+            return Vec::new();
+        }
+        match free_by_name.get(name) {
+            Some(ids) if ids.len() <= MAX_FANOUT => ids.clone(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(src: &str) -> CallGraph {
+        CallGraph::build(&[("crates/x".to_owned(), SourceFile::lex("x.rs", src))])
+    }
+
+    #[test]
+    fn extracts_fns_with_impl_context() {
+        let g = graph(
+            "fn free() {}\n\
+             impl Server { fn plan(&self) { self.step(); } fn step(&self) {} }\n\
+             impl Wal for MemWal { fn append(&self) {} }\n",
+        );
+        let names: Vec<String> = g.fns.iter().map(FnDef::qualified_name).collect();
+        assert_eq!(
+            names,
+            ["free", "Server::plan", "Server::step", "MemWal::append"]
+        );
+    }
+
+    #[test]
+    fn self_calls_resolve_within_the_impl() {
+        let g = graph("impl S { fn a(&self) { self.b(); } fn b(&self) {} }");
+        let a = g.lookup("a")[0];
+        let b = g.lookup("b")[0];
+        assert!(g.edges[a].contains(&b));
+    }
+
+    #[test]
+    fn ambiguous_std_methods_do_not_resolve() {
+        // A workspace type also defines `clone`; `x.clone()` must not
+        // create an edge to it.
+        let g = graph("impl S { fn clone(&self) {} }\nfn user(x: &S) { x.clone(); }");
+        let user = g.lookup("user")[0];
+        assert!(g.edges[user].is_empty());
+    }
+
+    #[test]
+    fn unique_method_names_resolve_across_types() {
+        let g = graph(
+            "impl Frontier { fn ready_iter(&self) {} }\n\
+             fn tick(f: &Frontier) { f.ready_iter(); }",
+        );
+        let tick = g.lookup("tick")[0];
+        let ri = g.lookup("ready_iter")[0];
+        assert!(g.edges[tick].contains(&ri));
+    }
+
+    #[test]
+    fn fanout_covers_every_trait_impl() {
+        let g = graph(
+            "trait Wal { fn append(&self); }\n\
+             impl Wal for MemWal { fn append(&self) {} }\n\
+             impl Wal for FileWal { fn append(&self) {} }\n\
+             fn commit(w: &dyn Wal) { w.append(); }",
+        );
+        let commit = g.lookup("commit")[0];
+        assert_eq!(g.edges[commit].len(), 3); // decl + both impls
+    }
+
+    #[test]
+    fn turbofish_calls_resolve() {
+        let g = graph(
+            "impl Db { fn update(&self) {} }\n\
+             fn plan(db: &Db) { db.update::<Vec<Vec<u8>>>(); }",
+        );
+        let plan = g.lookup("plan")[0];
+        let update = g.lookup("update")[0];
+        assert!(g.edges[plan].contains(&update));
+    }
+
+    #[test]
+    fn hot_marker_attaches_to_next_fn() {
+        let g = graph("// sphinx-hot\nfn a() {}\nfn b() { a(); }");
+        let a = g.lookup("a")[0];
+        let b = g.lookup("b")[0];
+        assert!(g.fns[a].hot);
+        assert!(!g.fns[b].hot);
+        let hot = g.hot_set();
+        assert!(hot.contains(&a));
+        assert!(!hot.contains(&b));
+    }
+
+    #[test]
+    fn hot_set_is_transitive() {
+        let g = graph("// sphinx-hot\nfn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn cold() {}");
+        let hot = g.hot_set();
+        for name in ["a", "b", "c"] {
+            assert!(hot.contains(&g.lookup(name)[0]), "{name} should be hot");
+        }
+        assert!(!hot.contains(&g.lookup("cold")[0]));
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_not_the_parents() {
+        let g = graph("fn outer() { fn inner() { target(); } }\nfn target() {}");
+        let outer = g.lookup("outer")[0];
+        let inner = g.lookup("inner")[0];
+        let target = g.lookup("target")[0];
+        assert!(!g.edges[outer].contains(&target));
+        assert!(g.edges[inner].contains(&target));
+    }
+
+    #[test]
+    fn reachable_is_reflexive_and_transitive() {
+        let mut edges: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        edges.entry(1).or_default().insert(2);
+        edges.entry(2).or_default().insert(3);
+        let roots: BTreeSet<usize> = [1].into_iter().collect();
+        let r = reachable(&edges, &roots);
+        assert_eq!(r, [1, 2, 3].into_iter().collect());
+    }
+}

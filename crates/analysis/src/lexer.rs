@@ -58,6 +58,9 @@ pub enum DirectiveKind {
     Lint,
     /// `// sphinx-fsa: ...`
     Fsa,
+    /// `// sphinx-hot` — marks the next `fn` as a hot-path root for the
+    /// call-graph analyzers (see [`crate::hotpath`]).
+    Hot,
 }
 
 /// A captured `sphinx-lint:` / `sphinx-fsa:` comment.
@@ -84,7 +87,7 @@ impl SourceFile {
         let (tokens, directives) = tokenize(src);
         SourceFile {
             path: path.to_owned(),
-            tokens: strip_test_modules(tokens),
+            tokens: strip_test_modules(split_turbofish_shifts(tokens)),
             directives,
         }
     }
@@ -172,6 +175,25 @@ fn tokenize(src: &str) -> (Vec<Token>, Vec<Directive>) {
             }
             '"' => i = skip_string(bytes, i + 1, &mut line),
             'r' | 'b' if is_raw_string_start(bytes, i) => i = skip_raw_string(bytes, i, &mut line),
+            // Raw identifier `r#ident`: one Ident token with the `r#`
+            // stripped, so `r#type` and `type` match the same patterns.
+            'r' if bytes.get(i + 1) == Some(&b'#')
+                && bytes
+                    .get(i + 2)
+                    .is_some_and(|&b| (b as char).is_alphabetic() || b == b'_') =>
+            {
+                let start = i + 2;
+                i = start;
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..i].to_owned(),
+                    line,
+                });
+            }
             'b' if bytes.get(i + 1) == Some(&b'"') => i = skip_string(bytes, i + 2, &mut line),
             'b' if bytes.get(i + 1) == Some(&b'\'') => i = skip_char(bytes, i + 2, &mut line),
             '\'' => {
@@ -253,6 +275,54 @@ fn capture_directive(comment: &str, line: u32, out: &mut Vec<Directive>) {
             });
         }
     }
+    // `// sphinx-hot` takes no body; accept an optional trailing note
+    // after whitespace or a colon, but not `sphinx-hotfix`-style idents.
+    if let Some(rest) = trimmed.strip_prefix("sphinx-hot") {
+        if rest.is_empty() || rest.starts_with(char::is_whitespace) || rest.starts_with(':') {
+            out.push(Directive {
+                kind: DirectiveKind::Hot,
+                body: rest.trim_start_matches(':').trim().to_owned(),
+                line,
+            });
+        }
+    }
+}
+
+/// Split `>>` closing nested turbofish generics (`collect::<Vec<Vec<_>>>`)
+/// into two `>` tokens. The lexer greedily matches `>>` as one shift
+/// operator, which is right for `a >> b` but wrong inside generic
+/// arguments; without this pass the call-graph builder cannot tell where
+/// a turbofish ends. We only track depth opened by a `::<` sequence —
+/// plain `a < b` comparisons never enter the mode — and reset it at
+/// statement boundaries, where unclosed generics are impossible.
+fn split_turbofish_shifts(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut depth = 0usize;
+    for tok in tokens {
+        if depth > 0 {
+            match tok.text.as_str() {
+                ";" | "{" | "}" if tok.kind == TokenKind::Punct => depth = 0,
+                "<" if tok.kind == TokenKind::Punct => depth += 1,
+                ">" if tok.kind == TokenKind::Punct => depth -= 1,
+                ">>" if tok.kind == TokenKind::Punct => {
+                    depth = depth.saturating_sub(2);
+                    for _ in 0..2 {
+                        out.push(Token {
+                            kind: TokenKind::Punct,
+                            text: ">".to_owned(),
+                            line: tok.line,
+                        });
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        } else if tok.is_punct("<") && out.last().is_some_and(|p: &Token| p.is_punct("::")) {
+            depth = 1;
+        }
+        out.push(tok);
+    }
+    out
 }
 
 fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
@@ -457,6 +527,81 @@ fn f<'a>(s: &'a str) -> char {
         assert!(!f.tokens.iter().any(|t| t.is_ident("HashMap")));
         assert!(f.tokens.iter().any(|t| t.is_ident("real")));
         assert!(f.tokens.iter().any(|t| t.is_ident("after")));
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        SourceFile::lex("t.rs", src)
+            .tokens
+            .into_iter()
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_one_token() {
+        assert_eq!(
+            texts("let r#type = r#match.clone();"),
+            ["let", "type", "=", "match", ".", "clone", "(", ")", ";"]
+        );
+        // `r#"…"#` must still be a raw string, not a raw identifier.
+        assert_eq!(texts(r##"let x = r#"type"#;"##), ["let", "x", "=", ";"]);
+    }
+
+    #[test]
+    fn turbofish_shift_splits_into_closing_angles() {
+        assert_eq!(
+            texts("v.collect::<Vec<Vec<u32>>>()"),
+            [
+                "v", ".", "collect", "::", "<", "Vec", "<", "Vec", "<", "u32", ">", ">", ">", "(",
+                ")"
+            ]
+        );
+        // Outside a turbofish, `>>` stays one shift token.
+        assert_eq!(
+            texts("let y = a >> 2;"),
+            ["let", "y", "=", "a", ">>", "2", ";"]
+        );
+        // A statement boundary resets the mode.
+        assert_eq!(
+            texts("x::<u8>; a >> b"),
+            ["x", "::", "<", "u8", ">", ";", "a", ">>", "b"]
+        );
+    }
+
+    #[test]
+    fn method_names_spanning_lines_keep_their_own_line() {
+        let src = "frontier\n    .ready_iter()\n    .take(3);\n";
+        let f = SourceFile::lex("t.rs", src);
+        let texts: Vec<(&str, u32)> = f.tokens.iter().map(|t| (t.text.as_str(), t.line)).collect();
+        assert_eq!(
+            texts,
+            [
+                ("frontier", 1),
+                (".", 2),
+                ("ready_iter", 2),
+                ("(", 2),
+                (")", 2),
+                (".", 3),
+                ("take", 3),
+                ("(", 3),
+                ("3", 3),
+                (")", 3),
+                (";", 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn hot_directive_is_captured() {
+        let src = "// sphinx-hot\nfn plan() {}\n// sphinx-hotfix not a directive\nfn other() {}\n";
+        let f = SourceFile::lex("t.rs", src);
+        let hot: Vec<&Directive> = f
+            .directives
+            .iter()
+            .filter(|d| d.kind == DirectiveKind::Hot)
+            .collect();
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].line, 1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! `sphinx-analysis`: the workspace's own static-analysis pass.
 //!
-//! Three analyzers run over the sim-facing crates, built on a
+//! Five analyzers run over the sim-facing crates, built on a
 //! hand-rolled lexer ([`lexer`]) because the build environment has no
 //! crates.io access for `syn`:
 //!
@@ -10,15 +10,25 @@
 //! 2. [`fsa`] — verifies every state-assignment site in `sphinx-core`
 //!    against the declared FSA transition table (§3.2), which lives in
 //!    `sphinx_core::state::can_transition_to` and is linked in directly.
-//! 3. [`panics`] — counts panic-capable constructs in `crates/core` and
-//!    `crates/db` against a committed ratchet that may only go down.
+//! 3. [`panics`] — counts panic-capable constructs in the server crates.
+//! 4. [`hotpath`] — flags allocation-shaped constructs in functions
+//!    reachable from a `// sphinx-hot` root, via the [`callgraph`].
+//! 5. [`locks`] — enforces the canonical lock-acquisition order and
+//!    rejects re-entry, interprocedurally.
+//!
+//! Panic, hot-alloc and hot-lock counts feed the one-way budget file
+//! `ratchets.toml` enforced by [`ratchet`].
 //!
 //! Run it as `cargo run -p sphinx-analysis -- check` (CI does).
 
+pub mod callgraph;
 pub mod determinism;
 pub mod fsa;
+pub mod hotpath;
 pub mod lexer;
+pub mod locks;
 pub mod panics;
+pub mod ratchet;
 
 use lexer::SourceFile;
 use std::fmt;
@@ -88,8 +98,8 @@ pub const WALL_CLOCK_ONLY_CRATES: &[&str] = &["bench"];
 /// a panic loses scheduling state).
 pub const PANIC_CRATES: &[&str] = &["crates/core", "crates/db", "crates/telemetry"];
 
-/// Where the panic budget lives, relative to the workspace root.
-pub const RATCHET_PATH: &str = "crates/analysis/panic-ratchet.txt";
+/// Where the analysis budgets live, relative to the workspace root.
+pub const RATCHET_PATH: &str = "crates/analysis/ratchets.toml";
 
 /// Walk upward from `start` to the directory whose `Cargo.toml` declares
 /// `[workspace]`.
@@ -147,16 +157,24 @@ fn lex_crate(root: &Path, crate_dir: &str) -> io::Result<Vec<SourceFile>> {
 
 /// Run the full analysis pass over the workspace at `root`.
 ///
-/// With `update_ratchet`, the panic baseline is rewritten to the
+/// With `update_ratchet`, the budget baseline is rewritten to the
 /// observed counts instead of being enforced.
 pub fn run_check(root: &Path, update_ratchet: bool) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
 
-    // 1. Determinism lints.
+    // Lex every sim-facing crate exactly once; all analyzers share the
+    // token streams.
+    let mut files: Vec<(String, SourceFile)> = Vec::new();
     for crate_name in SIM_CRATES {
-        for file in lex_crate(root, &format!("crates/{crate_name}"))? {
-            findings.extend(determinism::check(&file));
+        let crate_dir = format!("crates/{crate_name}");
+        for file in lex_crate(root, &crate_dir)? {
+            files.push((crate_dir.clone(), file));
         }
+    }
+
+    // 1. Determinism lints.
+    for (_, file) in &files {
+        findings.extend(determinism::check(file));
     }
     for crate_name in WALL_CLOCK_ONLY_CRATES {
         for file in lex_crate(root, &format!("crates/{crate_name}"))? {
@@ -166,31 +184,63 @@ pub fn run_check(root: &Path, update_ratchet: bool) -> io::Result<Vec<Finding>> 
 
     // 2. FSA transition-table verification over the core crate.
     let specs = [fsa::job_spec(), fsa::dag_spec()];
-    for file in lex_crate(root, "crates/core")? {
+    for (crate_dir, file) in &files {
+        if crate_dir != "crates/core" {
+            continue;
+        }
         if file.path.ends_with("state.rs") {
             for spec in &specs {
-                findings.extend(fsa::verify_enum_decl(&file, spec));
+                findings.extend(fsa::verify_enum_decl(file, spec));
             }
         }
-        findings.extend(fsa::check(&file, &specs));
+        findings.extend(fsa::check(file, &specs));
     }
 
-    // 3. Panic-path ratchet.
-    let mut audited = Vec::new();
-    for crate_dir in PANIC_CRATES {
-        for file in lex_crate(root, crate_dir)? {
-            audited.push(((*crate_dir).to_owned(), file));
+    // 3–4. Interprocedural passes: the call graph feeds the hot-path
+    // allocation lint and the lock-discipline lint.
+    let graph = callgraph::CallGraph::build(&files);
+    let hot = hotpath::check(&files, &graph);
+    findings.extend(hot.findings);
+    let lock_report = locks::check(&files, &graph, &locks::default_spec());
+    findings.extend(lock_report.findings);
+
+    // 5. The unified ratchet: panics, hot-alloc, hot-lock-acquisitions.
+    // Every sim crate is recorded (zeros included) so the committed file
+    // never churns on key presence.
+    let mut observed = ratchet::Budgets::default();
+    {
+        let mut panic_totals: std::collections::BTreeMap<String, u64> =
+            PANIC_CRATES.iter().map(|c| ((*c).to_owned(), 0)).collect();
+        for (crate_dir, file) in &files {
+            if PANIC_CRATES.contains(&crate_dir.as_str()) {
+                *panic_totals.entry(crate_dir.clone()).or_insert(0) += panics::count_file(file);
+            }
+        }
+        for (crate_dir, count) in &panic_totals {
+            observed.set("panics", crate_dir, *count);
         }
     }
-    let observed = panics::totals(&audited);
+    for crate_name in SIM_CRATES {
+        let crate_dir = format!("crates/{crate_name}");
+        observed.set(
+            "hot-alloc",
+            &crate_dir,
+            hot.counts.get(&crate_dir).copied().unwrap_or(0),
+        );
+        observed.set(
+            "hot-lock-acquisitions",
+            &crate_dir,
+            lock_report.hot_counts.get(&crate_dir).copied().unwrap_or(0),
+        );
+    }
     let ratchet_file = root.join(RATCHET_PATH);
     if update_ratchet {
-        fs::write(&ratchet_file, panics::render_ratchet(&observed))?;
+        fs::write(&ratchet_file, ratchet::render(&observed))?;
     } else {
         let baseline = fs::read_to_string(&ratchet_file)
-            .map(|c| panics::parse_ratchet(&c))
+            .map(|c| ratchet::parse(&c))
             .unwrap_or_default();
-        findings.extend(panics::check(&observed, &baseline, RATCHET_PATH));
+        findings.extend(ratchet::check(&observed, &baseline, RATCHET_PATH));
     }
 
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));

@@ -1,4 +1,4 @@
-//! Panic-path audit with a one-way ratchet.
+//! Panic-path audit.
 //!
 //! A SPHINX server that panics mid-transaction is exactly the crash the
 //! WAL exists to survive — but a panic in the scheduling path is still
@@ -6,17 +6,11 @@
 //! assume the server process stays up through bad reports. This pass
 //! counts the panic-capable constructs (`unwrap`, `expect`, `panic!`,
 //! `unreachable!`, `todo!`, `unimplemented!`, and `[...]` indexing) in
-//! non-test code of the audited crates and compares the totals to a
-//! committed baseline. The count may only go down: raising it fails the
-//! build, lowering it produces a reminder to re-record the baseline with
-//! `sphinx-lint check --update-ratchet`.
+//! non-test code of the audited crates; the totals feed the `[panics]`
+//! section of the budget file enforced by [`crate::ratchet`].
 
 use crate::lexer::{SourceFile, TokenKind};
-use crate::{Finding, Severity};
 use std::collections::BTreeMap;
-
-/// Rule id for budget violations.
-pub const RATCHET: &str = "panic-ratchet";
 
 /// Keywords that lex as identifiers but cannot end a value expression —
 /// a `[` following one of these starts a slice/array type or literal.
@@ -70,79 +64,6 @@ pub fn totals(files: &[(String, SourceFile)]) -> BTreeMap<String, u64> {
     map
 }
 
-/// Parse a ratchet file: one `crates/<name> <count>` pair per line,
-/// `#`-comments and blank lines ignored.
-pub fn parse_ratchet(content: &str) -> BTreeMap<String, u64> {
-    content
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .filter_map(|l| {
-            let (name, count) = l.rsplit_once(' ')?;
-            Some((name.trim().to_owned(), count.trim().parse().ok()?))
-        })
-        .collect()
-}
-
-/// Render the ratchet file for `--update-ratchet`.
-pub fn render_ratchet(totals: &BTreeMap<String, u64>) -> String {
-    let mut out = String::from(
-        "# Panic-path budget, enforced by `sphinx-lint check`.\n\
-         # Counts of unwrap/expect/panic!/unreachable!/todo!/unimplemented!/indexing\n\
-         # in non-test code. The count may only go DOWN; after burning some down,\n\
-         # re-record with `cargo run -p sphinx-analysis -- check --update-ratchet`.\n",
-    );
-    for (name, count) in totals {
-        out.push_str(&format!("{name} {count}\n"));
-    }
-    out
-}
-
-/// Compare observed totals to the committed baseline.
-pub fn check(
-    observed: &BTreeMap<String, u64>,
-    baseline: &BTreeMap<String, u64>,
-    ratchet_path: &str,
-) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for (name, &count) in observed {
-        match baseline.get(name) {
-            None => findings.push(Finding {
-                file: ratchet_path.to_owned(),
-                line: 0,
-                rule: RATCHET,
-                severity: Severity::Error,
-                message: format!(
-                    "no panic budget recorded for `{name}` (found {count}); \
-                     run `sphinx-lint check --update-ratchet`"
-                ),
-            }),
-            Some(&budget) if count > budget => findings.push(Finding {
-                file: ratchet_path.to_owned(),
-                line: 0,
-                rule: RATCHET,
-                severity: Severity::Error,
-                message: format!(
-                    "`{name}` has {count} panic-capable sites, budget is {budget}; \
-                     convert the new ones to typed `Result`s instead"
-                ),
-            }),
-            Some(&budget) if count < budget => findings.push(Finding {
-                file: ratchet_path.to_owned(),
-                line: 0,
-                rule: RATCHET,
-                severity: Severity::Warning,
-                message: format!(
-                    "`{name}` is below budget ({count} < {budget}); \
-                     lock in the progress with `sphinx-lint check --update-ratchet`"
-                ),
-            }),
-            Some(_) => {}
-        }
-    }
-    findings
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,22 +102,14 @@ mod tests {
     }
 
     #[test]
-    fn ratchet_round_trips_and_enforces() {
-        let mut observed = BTreeMap::new();
-        observed.insert("crates/core".to_owned(), 10u64);
-        let rendered = render_ratchet(&observed);
-        let baseline = parse_ratchet(&rendered);
-        assert_eq!(baseline, observed);
-        assert!(check(&observed, &baseline, "r.txt").is_empty());
-
-        observed.insert("crates/core".to_owned(), 11);
-        let up = check(&observed, &baseline, "r.txt");
-        assert_eq!(up.len(), 1);
-        assert_eq!(up[0].severity, Severity::Error);
-
-        observed.insert("crates/core".to_owned(), 9);
-        let down = check(&observed, &baseline, "r.txt");
-        assert_eq!(down.len(), 1);
-        assert_eq!(down[0].severity, Severity::Warning);
+    fn totals_aggregate_per_crate() {
+        let files = vec![
+            ("crates/a".to_owned(), SourceFile::lex("a.rs", "x.unwrap()")),
+            ("crates/a".to_owned(), SourceFile::lex("b.rs", "m[k]")),
+            ("crates/b".to_owned(), SourceFile::lex("c.rs", "safe()")),
+        ];
+        let t = totals(&files);
+        assert_eq!(t["crates/a"], 2);
+        assert_eq!(t["crates/b"], 0);
     }
 }

@@ -5,8 +5,9 @@
 //! exist only to be lexed) and each one encodes the exact rule ids and
 //! line numbers it must produce.
 
+use sphinx_analysis::callgraph::CallGraph;
 use sphinx_analysis::lexer::SourceFile;
-use sphinx_analysis::{determinism, fsa, has_errors, panics, run_check, Finding};
+use sphinx_analysis::{determinism, fsa, has_errors, hotpath, locks, panics, run_check, Finding};
 use std::path::Path;
 
 fn fixture(name: &str) -> SourceFile {
@@ -103,6 +104,64 @@ fn fsa_rejects_unannotated_and_raw_sites() {
 #[test]
 fn panic_heavy_fixture_counts_non_test_sites() {
     assert_eq!(panics::count_file(&fixture("panic_heavy.rs")), 7);
+}
+
+/// Lex a fixture as a one-file workspace for the interprocedural passes.
+fn fixture_files(name: &str) -> Vec<(String, SourceFile)> {
+    vec![("crates/fixture".to_owned(), fixture(name))]
+}
+
+#[test]
+fn hot_alloc_fixture_flags_root_callee_and_loop_but_not_allowed_or_cold() {
+    let files = fixture_files("hot_alloc.rs");
+    let graph = CallGraph::build(&files);
+    let r = hotpath::check(&files, &graph);
+    assert_eq!(
+        tags(&r.findings),
+        vec![
+            (hotpath::HOT_ALLOC, 6),  // `.to_vec()` in the hot root
+            (hotpath::HOT_ALLOC, 9),  // `Vec::new()` inside the loop
+            (hotpath::HOT_ALLOC, 16), // undeclared `.clone()` in the callee
+        ]
+    );
+    assert_eq!(r.counts["crates/fixture"], 3);
+}
+
+#[test]
+fn lock_fixture_flags_inversion_reentry_and_inversion_via_call() {
+    let files = fixture_files("lock_order.rs");
+    let graph = CallGraph::build(&files);
+    let spec = locks::LockSpec {
+        classes: vec![
+            locks::LockClass {
+                name: "engine.a",
+                rank: 10,
+                owner: "Engine",
+                field: "a",
+            },
+            locks::LockClass {
+                name: "engine.b",
+                rank: 20,
+                owner: "Engine",
+                field: "b",
+            },
+        ],
+    };
+    let r = locks::check(&files, &graph, &spec);
+    assert_eq!(
+        tags(&r.findings),
+        vec![
+            (locks::LOCK_ORDER, 10),   // `a` acquired under `b` directly
+            (locks::LOCK_ORDER, 22),   // same inversion through `takes_a`
+            (locks::LOCK_REENTRY, 16), // `a` re-locked while held
+        ]
+    );
+    assert!(
+        r.findings
+            .iter()
+            .any(|f| f.message.contains("via call to `Engine::takes_a`")),
+        "the call-mediated inversion names its callee"
+    );
 }
 
 #[test]

@@ -1,0 +1,25 @@
+//! Hot-path allocation fixture: a `// sphinx-hot` root whose callee
+//! clones undeclared, one allowed site, and a `Vec::new` in a loop.
+
+// sphinx-hot
+fn hot_root(items: &[u32]) {
+    let copy = items.to_vec();
+    helper(items);
+    for _ in 0..2 {
+        let scratch: Vec<u32> = Vec::new();
+        drop(scratch);
+    }
+    drop(copy);
+}
+
+fn helper(items: &[u32]) {
+    let undeclared = items.clone();
+    // sphinx-lint: allow(hot-alloc)
+    let allowed = items.to_vec();
+    drop((undeclared, allowed));
+}
+
+fn cold(items: &[u32]) {
+    let fine = items.to_vec();
+    drop(fine);
+}

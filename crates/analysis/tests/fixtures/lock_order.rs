@@ -1,0 +1,36 @@
+//! Lock-discipline fixture: a deliberate order inversion, a re-entry,
+//! and an inversion that flows through a call. The test injects a spec
+//! with `engine.a` (rank 10) and `engine.b` (rank 20) on `Engine`.
+
+struct Engine;
+
+impl Engine {
+    fn inverted(&self) {
+        let b = self.b.lock().unwrap();
+        let a = self.a.lock().unwrap();
+        drop((a, b));
+    }
+
+    fn reentrant(&self) {
+        let first = self.a.lock().unwrap();
+        let again = self.a.lock().unwrap();
+        drop((first, again));
+    }
+
+    fn outer(&self) {
+        let b = self.b.lock().unwrap();
+        self.takes_a();
+        drop(b);
+    }
+
+    fn takes_a(&self) {
+        let a = self.a.lock().unwrap();
+        drop(a);
+    }
+
+    fn ordered(&self) {
+        let a = self.a.lock().unwrap();
+        let b = self.b.lock().unwrap();
+        drop((a, b));
+    }
+}

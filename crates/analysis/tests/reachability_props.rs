@@ -1,0 +1,73 @@
+//! Property-based coverage of the call-graph closure.
+//!
+//! The hot set and the transitive lock-acquisition sets are both built
+//! on [`sphinx_analysis::callgraph::reachable`]. Every lint that rides
+//! on it relies on the closure being *monotone*: adding an edge or a
+//! root may only grow the reachable set, never shrink it. If that ever
+//! broke, a refactor could silently remove functions from the hot set
+//! and the ratchet would under-count.
+
+use proptest::prelude::*;
+use sphinx_analysis::callgraph::reachable;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Node universe; small enough that random graphs are dense in it.
+const N: usize = 12;
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0usize..N, 0usize..N), 0..48)
+}
+
+fn graph(pairs: &[(usize, usize)]) -> BTreeMap<usize, BTreeSet<usize>> {
+    let mut g: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for &(a, b) in pairs {
+        g.entry(a).or_default().insert(b);
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn adding_an_edge_never_shrinks_the_reachable_set(
+        pairs in arb_pairs(),
+        extra in (0usize..N, 0usize..N),
+        root in 0usize..N,
+    ) {
+        let roots: BTreeSet<usize> = BTreeSet::from([root]);
+        let before = reachable(&graph(&pairs), &roots);
+        let mut more = pairs.clone();
+        more.push(extra);
+        let after = reachable(&graph(&more), &roots);
+        prop_assert!(before.is_subset(&after));
+    }
+
+    #[test]
+    fn adding_a_root_never_shrinks_the_reachable_set(
+        pairs in arb_pairs(),
+        root in 0usize..N,
+        extra_root in 0usize..N,
+    ) {
+        let edges = graph(&pairs);
+        let roots: BTreeSet<usize> = BTreeSet::from([root]);
+        let before = reachable(&edges, &roots);
+        let more: BTreeSet<usize> = BTreeSet::from([root, extra_root]);
+        let after = reachable(&edges, &more);
+        prop_assert!(before.is_subset(&after));
+    }
+
+    #[test]
+    fn closure_contains_its_roots_and_is_edge_closed(
+        pairs in arb_pairs(),
+        root in 0usize..N,
+    ) {
+        let edges = graph(&pairs);
+        let roots: BTreeSet<usize> = BTreeSet::from([root]);
+        let set = reachable(&edges, &roots);
+        prop_assert!(set.contains(&root));
+        for n in &set {
+            if let Some(out) = edges.get(n) {
+                prop_assert!(out.iter().all(|m| set.contains(m)));
+            }
+        }
+    }
+}

@@ -160,7 +160,9 @@ impl SphinxClient {
             .collect();
         let mut reports = Vec::with_capacity(expired.len());
         for handle in expired {
-            let t = self.by_handle.remove(&handle).expect("key just listed");
+            let Some(t) = self.by_handle.remove(&handle) else {
+                continue;
+            };
             // "The client also sends the job cancellation message to the
             // remote sites" — harmless if the site lost the job already.
             grid.cancel(t.site, handle);

@@ -972,8 +972,8 @@ impl SphinxServer {
             // datasets use a nominal analysis-input size.
             let size_mb = producers
                 .get(&file)
-                .map(|&p| dag.jobs[p as usize].output.size_mb)
-                .unwrap_or(100);
+                .and_then(|&p| dag.jobs.get(p as usize))
+                .map_or(100, |j| j.output.size_mb);
             let best = sites.iter().copied().max_by(|a, b| {
                 transfers
                     .bandwidth(*a)
@@ -992,6 +992,7 @@ impl SphinxServer {
 
     /// One planner pass: reduce received DAGs, then plan every ready job.
     /// Returns the plans for the client to submit.
+    // sphinx-hot
     pub fn plan_cycle(
         &mut self,
         now: SimTime,

@@ -287,6 +287,9 @@ pub struct ShardedRuntime {
     /// adoption.
     orphans: Vec<StatusReport>,
     adoptions: Vec<AdoptionRecord>,
+    /// Precomputed `shard{i}` namespace names, so per-plan ledger writes
+    /// address the coordination db without formatting a fresh String.
+    ns_names: Vec<String>,
 }
 
 impl ShardedRuntime {
@@ -361,6 +364,7 @@ impl ShardedRuntime {
             remap: (0..n).collect(),
             orphans: Vec::new(),
             adoptions: Vec::new(),
+            ns_names: (0..n).map(|i| format!("shard{i}")).collect(),
         }
     }
 
@@ -387,6 +391,13 @@ impl ShardedRuntime {
     /// Number of shards still alive.
     pub fn alive_shards(&self) -> usize {
         self.shards.iter().flatten().count()
+    }
+
+    /// The precomputed `shard{i}` namespace name. Shard indices are
+    /// internal and always in range; the fallback only guards against a
+    /// future refactor breaking that invariant without a panic path.
+    fn shard_ns(&self, i: usize) -> &str {
+        self.ns_names.get(i).map_or("shard-invalid", String::as_str)
     }
 
     /// The underlying grid (e.g. to pre-seed replicas before submitting).
@@ -434,7 +445,7 @@ impl ShardedRuntime {
     pub fn site_ledger_of(&self, shard: usize) -> CoreResult<Vec<SiteLeaseRow>> {
         Ok(self
             .coord_db
-            .namespace(format!("shard{shard}"))
+            .namespace_ref(self.shard_ns(shard))
             .scan::<SiteLeaseRow>()?)
     }
 
@@ -651,8 +662,13 @@ impl ShardedRuntime {
             // Un-acked reports the dead shard pushed to its local inbox
             // but crashed before acknowledging (at-least-once delivery;
             // the FSA guards make re-handling idempotent).
-            let dead_ns = format!("shard{dead}");
-            let pending: Queue<StatusReport> = Queue::namespaced(&donor, &dead_ns, "inbox");
+            // Field access, not `shard_ns()`: `shard` mutably borrows
+            // `self.shards`, so only a disjoint-field borrow compiles.
+            let dead_ns = self
+                .ns_names
+                .get(dead)
+                .map_or("shard-invalid", String::as_str);
+            let pending: Queue<StatusReport> = Queue::namespaced(&donor, dead_ns, "inbox");
             for report in pending.peek_all()? {
                 deliver(shard, &mut self.sched, &report, now)?;
                 record.redelivered += 1;
@@ -701,7 +717,7 @@ impl ShardedRuntime {
         let site = plan.site.0;
         let key = site as u64;
         let cpu = plan.compute.as_secs_f64().ceil() as u64;
-        let ns = self.coord_db.namespace(format!("shard{owner}"));
+        let ns = self.coord_db.namespace_ref(self.shard_ns(owner));
         if !ns.contains::<SiteLeaseRow>(key) {
             ns.put(&SiteLeaseRow {
                 site,
@@ -728,8 +744,8 @@ impl ShardedRuntime {
     /// Fold a dead shard's ledger rows into its adopter's (merge-add,
     /// then delete), preserving `global == Σ shards` through failover.
     fn fold_ledger(&self, dead: usize, adopter: usize) -> CoreResult<()> {
-        let from = self.coord_db.namespace(format!("shard{dead}"));
-        let to = self.coord_db.namespace(format!("shard{adopter}"));
+        let from = self.coord_db.namespace_ref(self.shard_ns(dead));
+        let to = self.coord_db.namespace_ref(self.shard_ns(adopter));
         for row in from.scan::<SiteLeaseRow>()? {
             let key = row.site as u64;
             if !to.contains::<SiteLeaseRow>(key) {
@@ -747,6 +763,7 @@ impl ShardedRuntime {
         Ok(())
     }
 
+    // sphinx-hot
     fn planner_tick(&mut self) -> CoreResult<()> {
         let cycle = self.cycle;
         self.cycle += 1;

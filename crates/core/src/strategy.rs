@@ -309,6 +309,7 @@ impl StrategyKind {
     /// decisions (same site for the same inputs, including tie-breaks and
     /// round-robin cursor motion), amortized O(log sites) per job instead
     /// of O(sites × catalog).
+    // sphinx-hot
     pub fn choose_cached(
         self,
         view: &PlanningView<'_>,
@@ -351,6 +352,7 @@ impl StrategyKind {
 
 impl StrategyKind {
     /// Choose a site for one job. `None` only when `candidates` is empty.
+    // sphinx-hot
     pub fn choose(self, view: &PlanningView<'_>, state: &mut StrategyState) -> Option<SiteId> {
         if view.candidates.is_empty() {
             return None;

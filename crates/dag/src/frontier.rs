@@ -64,6 +64,7 @@ impl Frontier {
 
     /// Non-allocating view of the ready set, in index order (what the
     /// planner walks every cycle; same order as [`Frontier::ready`]).
+    // sphinx-hot
     pub fn ready_iter(&self) -> impl Iterator<Item = u32> + '_ {
         self.ready.iter().copied()
     }
@@ -93,7 +94,10 @@ impl Frontier {
         }
         self.completed[job as usize] = true;
         self.done += 1;
-        for &c in &self.children[job as usize].clone() {
+        // Detach the child list so sibling state can be mutated while
+        // walking it; restored below, so no allocation per completion.
+        let children = std::mem::take(&mut self.children[job as usize]);
+        for &c in &children {
             let w = &mut self.waiting_on[c as usize];
             debug_assert!(*w > 0);
             *w -= 1;
@@ -101,6 +105,7 @@ impl Frontier {
                 self.ready.insert(c);
             }
         }
+        self.children[job as usize] = children;
     }
 
     /// Mark a job finished, releasing any children whose last dependency

@@ -9,6 +9,7 @@ use serde::de::DeserializeOwned;
 use serde::Serialize;
 use sphinx_telemetry::Telemetry;
 use std::any::Any;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -361,6 +362,7 @@ impl Database {
 
     /// Commit `ops` as one WAL line; `primed` carries already-decoded rows
     /// for the touched keys so the cache can be refreshed for free.
+    // sphinx-hot
     pub(crate) fn commit_ops_primed(
         &self,
         ops: Vec<Op>,
@@ -386,13 +388,17 @@ impl Database {
                     match op {
                         Op::Put { table, key, row } => {
                             let t = tables.entry(table.clone()).or_default();
-                            let old = t.get(&key).cloned();
-                            indexes.on_put(&table, key, old.as_ref(), &row);
+                            // Insert first so the displaced old row moves
+                            // out instead of being cloned for the index
+                            // delta; the new row is read back by key.
+                            let old = t.insert(key, row);
+                            if let Some(new) = t.get(&key) {
+                                indexes.on_put(&table, key, old.as_ref(), new);
+                            }
                             // The cached decode (if any) is now stale.
                             if let Some(tc) = cache.get_mut(table.as_str()) {
                                 tc.remove(&key);
                             }
-                            t.insert(key, row);
                         }
                         Op::Del { table, key } => {
                             if let Some(t) = tables.get_mut(&table) {
@@ -689,6 +695,7 @@ impl Database {
     /// Rows whose value at `pointer` equals `value`. Uses the secondary
     /// index when one is registered; otherwise falls back to a filtered
     /// table scan (same result, O(table) instead of O(result)).
+    // sphinx-hot
     pub fn scan_where<R: Record>(
         &self,
         pointer: &str,
@@ -795,7 +802,16 @@ impl Database {
     pub fn namespace(&self, ns: impl Into<String>) -> Ns<'_> {
         Ns {
             db: self,
-            prefix: ns.into(),
+            prefix: Cow::Owned(ns.into()),
+        }
+    }
+
+    /// [`Database::namespace`] without taking ownership of the prefix —
+    /// for hot paths that address a precomputed namespace every cycle.
+    pub fn namespace_ref<'a>(&'a self, ns: &'a str) -> Ns<'a> {
+        Ns {
+            db: self,
+            prefix: Cow::Borrowed(ns),
         }
     }
 }
@@ -806,7 +822,7 @@ impl Database {
 /// address table `"{ns}/{R::TABLE}"` instead of `R::TABLE`.
 pub struct Ns<'a> {
     db: &'a Database,
-    prefix: String,
+    prefix: Cow<'a, str>,
 }
 
 impl<'a> Ns<'a> {

@@ -73,6 +73,7 @@ impl MemWal {
 }
 
 impl Wal for MemWal {
+    // sphinx-hot
     fn append(&mut self, line: &str) -> Result<(), DbError> {
         self.lines.lock().push(line.to_owned());
         self.appended += 1;
@@ -174,6 +175,7 @@ impl FileWal {
 }
 
 impl Wal for FileWal {
+    // sphinx-hot
     fn append(&mut self, line: &str) -> Result<(), DbError> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
