@@ -87,6 +87,7 @@ pub const SIM_CRATES: &[&str] = &[
     "data",
     "telemetry",
     "workloads",
+    "ops",
 ];
 
 /// The bench harness measures real elapsed time on purpose, so it only
@@ -96,7 +97,7 @@ pub const WALL_CLOCK_ONLY_CRATES: &[&str] = &["bench"];
 /// Crates under the panic-path ratchet (the server, its durability
 /// layer, and the telemetry hub every hot path calls into — the places
 /// a panic loses scheduling state).
-pub const PANIC_CRATES: &[&str] = &["crates/core", "crates/db", "crates/telemetry"];
+pub const PANIC_CRATES: &[&str] = &["crates/core", "crates/db", "crates/ops", "crates/telemetry"];
 
 /// Where the analysis budgets live, relative to the workspace root.
 pub const RATCHET_PATH: &str = "crates/analysis/ratchets.toml";

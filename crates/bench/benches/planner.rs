@@ -78,6 +78,7 @@ fn bench_plan_cycle(c: &mut Criterion) {
                             policy_enabled: false,
                             archive_site: None,
                             score_cache: true,
+                            ops_fast_path: false,
                         },
                     );
                     let dag = WorkloadSpec {

@@ -13,9 +13,14 @@ use sphinx_bench::{
     aggregate, jobs_vs_speed_correlation, planner, render_site_table, render_svg_value_bars,
     render_table, run_trials, scale, shard, write_json, write_svg, Aggregate,
 };
+use sphinx_core::StrategyKind;
+use sphinx_ops::OpsConfig;
 use sphinx_policy::Requirement;
 use sphinx_sim::Duration;
-use sphinx_telemetry::{chrome_trace_json, prometheus_text, validate_prometheus, JsonlSink};
+use sphinx_telemetry::{
+    chrome_trace_json, prometheus_text, validate_prometheus, InMemorySink, JsonlSink, TraceEvent,
+    TraceKind,
+};
 use sphinx_workloads::experiments::{
     ablate_burst, ablate_fault_density, ablate_staleness, fig2, fig345, fig6, fig7, fig8, qos,
     recovery, ExperimentParams, SeriesPoint,
@@ -62,6 +67,7 @@ fn parse_args() -> Options {
             "qos",
             "recovery",
             "telemetry",
+            "ops",
         ]
         .into_iter()
         .map(str::to_owned)
@@ -163,6 +169,82 @@ fn shard_regressions(bench: &shard::ShardBench) -> Vec<String> {
                 (new / old - 1.0) * 100.0
             ));
         }
+    }
+    out
+}
+
+/// Committed artifact of the `ops` arm: how far ahead of the post-hoc
+/// reliability flag the online black-hole detector fired on the seeded
+/// scenario. Every field is sim-time-derived, so the file is
+/// machine-independent and byte-stable across reruns.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct OpsBench {
+    seed: u64,
+    window_ms: u64,
+    k_windows: u32,
+    alerts_total: usize,
+    first_alert_ms: u64,
+    first_flag_ms: u64,
+    head_start_ms: u64,
+}
+
+/// The seeded black-hole scenario shared by the `ops` and `ops-smoke`
+/// arms (mirrors `tests/ops_plane.rs`): round-robin keeps feeding the
+/// hole, feedback is on so the post-hoc flag eventually lands, and the
+/// live aggregator watches every planner tick.
+fn ops_scenario(fast_path: bool) -> Scenario {
+    Scenario::builder()
+        .sites(sphinx_workloads::grid3::catalog_small())
+        .dags(2, 8)
+        .seed(1905)
+        .strategy(StrategyKind::RoundRobin)
+        .feedback(true)
+        .timeout(Duration::from_mins(10))
+        .faults(FaultPlan {
+            black_holes: 1,
+            flaky: 0,
+            ..FaultPlan::default()
+        })
+        .horizon(Duration::from_secs(24 * 3600))
+        .ops(OpsConfig::default())
+        .ops_fast_path(fast_path)
+        .build()
+}
+
+/// Run a scenario with an in-memory trace sink attached, returning the
+/// serialised `OpsAlert` stream (one JSON line per alert) and the full
+/// event capture.
+fn run_ops_traced(scenario: &Scenario) -> (String, Vec<TraceEvent>) {
+    let mut rt = scenario.build_runtime();
+    let (sink, events) = InMemorySink::new();
+    rt.telemetry().add_sink(Box::new(sink));
+    let report = rt.run();
+    assert!(report.finished, "{}", report.summary());
+    let captured = events.lock().clone();
+    let stream: Vec<String> = captured
+        .iter()
+        .filter(|e| e.kind == TraceKind::OpsAlert)
+        .map(TraceEvent::to_json_line)
+        .collect();
+    (stream.join("\n"), captured)
+}
+
+/// Compare a fresh ops run against the committed `BENCH_ops.json`: the
+/// detector's head start over the post-hoc flag must not shrink (the
+/// sim is deterministic, so any drift is a behaviour change).
+fn ops_regressions(bench: &OpsBench) -> Vec<String> {
+    let Ok(old) = std::fs::read_to_string("BENCH_ops.json") else {
+        return Vec::new(); // no committed baseline yet
+    };
+    let Ok(baseline) = serde_json::from_str::<OpsBench>(&old) else {
+        return vec!["BENCH_ops.json exists but does not parse".to_owned()];
+    };
+    let mut out = Vec::new();
+    if bench.head_start_ms < baseline.head_start_ms {
+        out.push(format!(
+            "black-hole detection head start shrank: {}ms vs {}ms committed",
+            bench.head_start_ms, baseline.head_start_ms
+        ));
     }
     out
 }
@@ -374,17 +456,22 @@ fn main() {
                 // Standard exporters: a Perfetto-loadable Chrome trace of
                 // the span forest and a Prometheus text exposition of the
                 // snapshot (self-validated before it is written).
+                // Dropped telemetry is lost evidence: the live ops plane
+                // and the post-hoc analysis both read these buffers, so a
+                // smoke run that overflows them fails instead of warning.
                 if snap.trace_dropped > 0 {
                     eprintln!(
-                        "warning: {} trace events dropped from the ring (raise trace_capacity)",
+                        "regression: {} trace events dropped from the ring (raise trace_capacity)",
                         snap.trace_dropped
                     );
+                    std::process::exit(1);
                 }
                 if snap.spans_dropped > 0 {
                     eprintln!(
-                        "warning: {} finished spans evicted (raise span_capacity)",
+                        "regression: {} finished spans evicted (raise span_capacity)",
                         snap.spans_dropped
                     );
+                    std::process::exit(1);
                 }
                 let chrome = chrome_trace_json(&rt.telemetry().spans());
                 let chrome_path = opts.results_dir.join("trace_chrome.json");
@@ -519,6 +606,166 @@ fn main() {
                 if !regressions.is_empty() {
                     for r in &regressions {
                         eprintln!("regression: {r}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+            "ops" => {
+                // Live ops plane: the online black-hole detector vs the
+                // post-hoc reliability flag on a seeded black-hole run,
+                // executed twice to prove the alert stream is
+                // byte-identical (the aggregator lives inside the sim
+                // loop, so any nondeterminism would show up here first).
+                let ops_config = OpsConfig::default();
+                let mut regressions = Vec::new();
+                let (stream_a, events) = run_ops_traced(&ops_scenario(false));
+                let (stream_b, _) = run_ops_traced(&ops_scenario(false));
+                println!("\n== Live ops plane: black-hole detection lead time (seed 1905)");
+                if stream_a.is_empty() {
+                    regressions.push("no OpsAlert events on the black-hole scenario".to_owned());
+                }
+                if stream_a.as_bytes() != stream_b.as_bytes() {
+                    regressions.push("OpsAlert stream differs between identical reruns".to_owned());
+                }
+                let first_alert = events
+                    .iter()
+                    .find(|e| e.kind == TraceKind::OpsAlert && e.detail.starts_with("black_hole"));
+                let first_flag = first_alert.and_then(|alert| {
+                    events
+                        .iter()
+                        .find(|e| e.kind == TraceKind::SiteFlagged && e.site == alert.site)
+                });
+                match (first_alert, first_flag) {
+                    (Some(alert), Some(flag)) => {
+                        let head_start = flag.sim_time.since(alert.sim_time);
+                        println!(
+                            "online alert at {}, post-hoc flag at {}: head start {}",
+                            alert.sim_time, flag.sim_time, head_start
+                        );
+                        if head_start.as_millis() == 0 {
+                            regressions
+                                .push("online alert did not beat the post-hoc flag".to_owned());
+                        }
+                        let alerts_total = stream_a.lines().count();
+                        let bench = OpsBench {
+                            seed: 1905,
+                            window_ms: ops_config.window.as_millis(),
+                            k_windows: ops_config.k_windows,
+                            alerts_total,
+                            first_alert_ms: alert.sim_time.as_millis(),
+                            first_flag_ms: flag.sim_time.as_millis(),
+                            head_start_ms: head_start.as_millis(),
+                        };
+                        regressions.extend(ops_regressions(&bench));
+                        write_json(&opts.results_dir, "ops", &bench).expect("write results");
+                        std::fs::create_dir_all(&opts.results_dir).expect("results dir");
+                        std::fs::write(opts.results_dir.join("ops_alerts.jsonl"), &stream_a)
+                            .expect("write alert stream");
+                        let json = serde_json::to_string_pretty(&bench).expect("ops serialize");
+                        std::fs::write("BENCH_ops.json", json).expect("write BENCH_ops.json");
+                        println!(
+                            "ops lead-time written to BENCH_ops.json ({alerts_total} alerts in results/ops_alerts.jsonl)"
+                        );
+                    }
+                    (Some(_), None) => regressions
+                        .push("no post-hoc SiteFlagged event for the alerted site".to_owned()),
+                    (None, _) => regressions
+                        .push("no black_hole OpsAlert on the black-hole scenario".to_owned()),
+                }
+                if !regressions.is_empty() {
+                    for r in &regressions {
+                        eprintln!("regression: {r}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+            "ops-smoke" => {
+                // End-to-end check of the HTTP ops endpoint: run the
+                // seeded scenario with the server bound to an ephemeral
+                // localhost port, then fetch the three routes exactly as
+                // an operator's dashboard would and persist /metrics for
+                // the CI `validate-prom` step.
+                use std::io::{Read, Write};
+                let scenario = ops_scenario(false);
+                let mut rt = scenario.build_runtime();
+                let shared = rt.ops_snapshot_handle().expect("ops plane enabled");
+                let telemetry = std::sync::Arc::clone(rt.telemetry());
+                let mut server =
+                    sphinx_ops::http::OpsServer::serve("127.0.0.1:0", shared, telemetry)
+                        .expect("bind ops endpoint");
+                let addr = server.addr();
+                let report = rt.run();
+                println!("\n== Ops endpoint smoke: serving on http://{addr}");
+                println!("run finished: {}", report.summary());
+                let fetch = |path: &str| -> std::io::Result<(String, String)> {
+                    let mut stream = std::net::TcpStream::connect(addr)?;
+                    write!(
+                        stream,
+                        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+                    )?;
+                    let mut raw = Vec::new();
+                    stream.read_to_end(&mut raw)?;
+                    let text = String::from_utf8_lossy(&raw);
+                    let (head, body) = text.split_once("\r\n\r\n").unwrap_or((&text, ""));
+                    let status = head.lines().next().unwrap_or("").to_owned();
+                    Ok((status, body.to_owned()))
+                };
+                let mut failures = Vec::new();
+                match fetch("/health") {
+                    Ok((status, body)) if status.contains("200") && body == "ok\n" => {
+                        println!("/health   {status}");
+                    }
+                    Ok((status, body)) => {
+                        failures.push(format!("/health returned `{status}` body {body:?}"));
+                    }
+                    Err(e) => failures.push(format!("/health fetch failed: {e}")),
+                }
+                match fetch("/snapshot") {
+                    Ok((status, body)) if status.contains("200") => {
+                        match serde_json::from_str::<serde_json::Value>(&body) {
+                            Ok(snap) => {
+                                let sites = snap
+                                    .get("sites")
+                                    .and_then(serde_json::Value::as_array)
+                                    .map(Vec::len)
+                                    .unwrap_or(0);
+                                let alerts = snap
+                                    .get("alerts_total")
+                                    .and_then(serde_json::Value::as_u64)
+                                    .unwrap_or(0);
+                                println!("/snapshot {status} ({sites} sites, {alerts} alerts)");
+                                if sites == 0 {
+                                    failures
+                                        .push("/snapshot has no per-site health rows".to_owned());
+                                }
+                            }
+                            Err(e) => failures.push(format!("/snapshot is not JSON: {e}")),
+                        }
+                    }
+                    Ok((status, _)) => failures.push(format!("/snapshot returned `{status}`")),
+                    Err(e) => failures.push(format!("/snapshot fetch failed: {e}")),
+                }
+                match fetch("/metrics") {
+                    Ok((status, body)) if status.contains("200") => {
+                        if let Err(e) = validate_prometheus(&body) {
+                            failures.push(format!("/metrics failed validation: {e}"));
+                        }
+                        std::fs::create_dir_all(&opts.results_dir).expect("results dir");
+                        let prom_path = opts.results_dir.join("metrics_ops.prom");
+                        std::fs::write(&prom_path, &body).expect("write ops metrics");
+                        println!(
+                            "/metrics  {status} ({} lines, written to {})",
+                            body.lines().count(),
+                            prom_path.display()
+                        );
+                    }
+                    Ok((status, _)) => failures.push(format!("/metrics returned `{status}`")),
+                    Err(e) => failures.push(format!("/metrics fetch failed: {e}")),
+                }
+                server.stop();
+                if !failures.is_empty() {
+                    for f in &failures {
+                        eprintln!("regression: {f}");
                     }
                     std::process::exit(1);
                 }

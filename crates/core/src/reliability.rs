@@ -58,6 +58,10 @@ struct SiteHistory {
     /// Recent outcomes: `true` = completed.
     recent: VecDeque<bool>,
     last_cancelled: Option<SimTime>,
+    /// Live ops fast-path: the site is held unreliable until this time
+    /// (or until a completion clears it), regardless of the window
+    /// verdict. Set by [`Reliability::ops_flag`].
+    ops_flag_until: Option<SimTime>,
 }
 
 /// How one recorded outcome changed a site's reliability verdict (for
@@ -108,9 +112,12 @@ impl Reliability {
         }
     }
 
-    /// Record a completion at a site.
+    /// Record a completion at a site. Completions are ground truth that
+    /// the site executes work, so they also clear any live-ops flag.
     pub fn record_completed(&mut self, site: SiteId) {
-        self.sites.entry(site).or_default().lifetime.completed += 1;
+        let h = self.sites.entry(site).or_default();
+        h.lifetime.completed += 1;
+        h.ops_flag_until = None;
         self.push_outcome(site, true);
     }
 
@@ -137,6 +144,20 @@ impl Reliability {
     pub fn record_cancelled_at(&mut self, site: SiteId, now: SimTime) -> FlagTransition {
         let before = self.is_reliable(site, now);
         self.record_cancelled(site, now);
+        Self::transition(before, self.is_reliable(site, now))
+    }
+
+    /// Live ops fast-path: flag `site` unreliable *now*, ahead of the
+    /// tracker-report evidence the window verdict needs. The flag holds
+    /// for one probation period (then the site gets another chance, like
+    /// a window-flagged site) and is cleared immediately by any
+    /// completion — a black-hole alert on a site that is actually
+    /// finishing jobs must not starve it. Returns the verdict edge so
+    /// the caller can emit the same flag telemetry as the post-hoc path.
+    pub fn ops_flag(&mut self, site: SiteId, now: SimTime) -> FlagTransition {
+        let before = self.is_reliable(site, now);
+        let until = now.saturating_add(self.config.probation);
+        self.sites.entry(site).or_default().ops_flag_until = Some(until);
         Self::transition(before, self.is_reliable(site, now))
     }
 
@@ -173,6 +194,11 @@ impl Reliability {
         let Some(h) = self.sites.get(&site) else {
             return true;
         };
+        if let Some(until) = h.ops_flag_until {
+            if now < until {
+                return false;
+            }
+        }
         let completed = h.recent.iter().filter(|&&c| c).count();
         let cancelled = h.recent.len() - completed;
         if cancelled <= completed {
@@ -369,6 +395,40 @@ mod tests {
             r.record_completed_at(SiteId(0), T0),
             FlagTransition::Unchanged
         );
+    }
+
+    #[test]
+    fn ops_flag_excludes_until_probation_or_completion() {
+        let mut r = Reliability::with_config(ReliabilityConfig {
+            window: 10,
+            probation: Duration::from_mins(30),
+        });
+        // Fresh site, flagged online before any tracker evidence exists.
+        assert_eq!(r.ops_flag(SiteId(0), at(10)), FlagTransition::Flagged);
+        assert!(!r.is_reliable(SiteId(0), at(10)));
+        // Re-flagging an already-flagged site is not an edge.
+        assert_eq!(r.ops_flag(SiteId(0), at(11)), FlagTransition::Unchanged);
+        // Still excluded inside probation, readmitted after it.
+        assert!(!r.is_reliable(SiteId(0), at(39)));
+        assert!(r.is_reliable(SiteId(0), at(41)));
+        // A completion clears the flag immediately.
+        assert_eq!(r.ops_flag(SiteId(1), at(0)), FlagTransition::Flagged);
+        assert_eq!(
+            r.record_completed_at(SiteId(1), at(5)),
+            FlagTransition::Unflagged
+        );
+        assert!(r.is_reliable(SiteId(1), at(5)));
+    }
+
+    #[test]
+    fn ops_flag_respects_filtering_helpers() {
+        let mut r = Reliability::new();
+        r.ops_flag(SiteId(0), T0);
+        let sites = [SiteId(0), SiteId(1)];
+        assert_eq!(r.reliable_subset(&sites, T0), vec![SiteId(1)]);
+        let mut retained = sites.to_vec();
+        r.retain_reliable(&mut retained, T0);
+        assert_eq!(retained, vec![SiteId(1)]);
     }
 
     #[test]

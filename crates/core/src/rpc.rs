@@ -325,6 +325,7 @@ mod tests {
                 strategy: crate::strategy::StrategyKind::RoundRobin,
                 archive_site: None,
                 score_cache: true,
+                ops_fast_path: false,
             },
         );
         let dag = WorkloadSpec::small(1, 4)

@@ -24,11 +24,13 @@ use crate::report::{RunReport, SiteOutcome};
 use crate::server::{ServerConfig, SphinxServer};
 use crate::state::{DagRow, JobRow, SiteStatsRow};
 use crate::strategy::{SiteInfo, StrategyKind};
+use parking_lot::Mutex;
 use sphinx_dag::Dag;
 use sphinx_data::{SiteId, TransferModel};
 use sphinx_db::{Database, Queue};
 use sphinx_grid::{GridSim, Notification};
 use sphinx_monitor::{Monitor, MonitorConfig};
+use sphinx_ops::{OpsAggregator, OpsConfig, OpsDetector, OpsSnapshot};
 use sphinx_policy::UserId;
 use sphinx_sim::{Duration, SimTime};
 use sphinx_telemetry::{Telemetry, TelemetryConfig, TraceKind};
@@ -67,6 +69,12 @@ pub struct RuntimeConfig {
     /// Per-cycle planner score cache (decision-invariant; off = reference
     /// path for the equivalence suite).
     pub score_cache: bool,
+    /// Live ops plane: run the streaming aggregator and online anomaly
+    /// detectors each planner cycle. `None` disables the plane entirely.
+    pub ops: Option<OpsConfig>,
+    /// Let ops black-hole alerts feed the reliability index immediately
+    /// (see [`ServerConfig::ops_fast_path`]). Requires `ops`.
+    pub ops_fast_path: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -84,6 +92,8 @@ impl Default for RuntimeConfig {
             seed: 0,
             telemetry: TelemetryConfig::default(),
             score_cache: true,
+            ops: None,
+            ops_fast_path: false,
         }
     }
 }
@@ -98,6 +108,10 @@ pub struct SphinxRuntime {
     config: RuntimeConfig,
     transfer_model: TransferModel,
     started: bool,
+    ops: Option<OpsAggregator>,
+    /// Snapshot handle shared with the HTTP ops endpoint; rebuilt by the
+    /// aggregator after every planner cycle.
+    ops_shared: Option<Arc<Mutex<OpsSnapshot>>>,
 }
 
 impl SphinxRuntime {
@@ -134,6 +148,7 @@ impl SphinxRuntime {
                 policy_enabled: config.policy_enabled,
                 archive_site: config.archive_site,
                 score_cache: config.score_cache,
+                ops_fast_path: config.ops_fast_path,
             },
         );
         server.set_telemetry(Arc::clone(&telemetry));
@@ -142,6 +157,10 @@ impl SphinxRuntime {
         });
         let mut monitor = Monitor::new(config.monitor.clone(), config.seed);
         monitor.set_telemetry(telemetry);
+        let ops = config.ops.clone().map(OpsAggregator::new);
+        let ops_shared = ops
+            .is_some()
+            .then(|| Arc::new(Mutex::new(OpsSnapshot::default())));
         SphinxRuntime {
             grid,
             monitor,
@@ -151,6 +170,8 @@ impl SphinxRuntime {
             config,
             transfer_model,
             started: false,
+            ops,
+            ops_shared,
         }
     }
 
@@ -182,6 +203,18 @@ impl SphinxRuntime {
     /// The telemetry hub shared by every module of this runtime.
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         self.server.telemetry()
+    }
+
+    /// The live-ops snapshot handle (for the HTTP endpoint or a harness);
+    /// `None` unless [`RuntimeConfig::ops`] is set. The aggregator
+    /// republishes into it after every planner cycle.
+    pub fn ops_snapshot_handle(&self) -> Option<Arc<Mutex<OpsSnapshot>>> {
+        self.ops_shared.clone()
+    }
+
+    /// The live-ops aggregator, when enabled.
+    pub fn ops_aggregator(&self) -> Option<&OpsAggregator> {
+        self.ops.as_ref()
     }
 
     /// Submit a DAG on behalf of a user. Panics on an invalid DAG or a
@@ -259,6 +292,22 @@ impl SphinxRuntime {
             self.client.submit_plan(&mut self.grid, &plan, now);
         }
         self.server.telemetry().span_end(submit_span, now);
+        // 4. Live ops plane: fold this cycle's trace and metrics into the
+        // rolling windows, run the online detectors, publish the snapshot
+        // for the HTTP endpoint, and (fast path only) feed black-hole
+        // verdicts into the reliability index.
+        if let Some(ops) = self.ops.as_mut() {
+            let telemetry = Arc::clone(self.server.telemetry());
+            let alerts: &[sphinx_ops::OpsAlert] = ops.tick(now, &telemetry);
+            for alert in alerts {
+                if alert.detector == OpsDetector::BlackHole {
+                    self.server.apply_ops_flag(SiteId(alert.site), now);
+                }
+            }
+            if let Some(shared) = &self.ops_shared {
+                ops.publish_into(now, &mut shared.lock());
+            }
+        }
         self.grid
             .schedule_wakeup(now + self.config.planner_period, TOKEN_PLANNER);
         Ok(())
@@ -320,6 +369,7 @@ impl SphinxRuntime {
                 policy_enabled: rt.config.policy_enabled,
                 archive_site: rt.config.archive_site,
                 score_cache: rt.config.score_cache,
+                ops_fast_path: rt.config.ops_fast_path,
             },
         )?;
         telemetry.trace(

@@ -49,6 +49,11 @@ pub struct ServerConfig {
     /// the full-rescore reference path; decisions are identical either
     /// way (asserted by `tests/planner_equivalence.rs`).
     pub score_cache: bool,
+    /// Let live-ops black-hole alerts exclude a site from planning
+    /// immediately ([`Reliability::ops_flag`]) instead of waiting for the
+    /// post-hoc cancelled-vs-completed tally. Off by default so the
+    /// reference runs are untouched.
+    pub ops_fast_path: bool,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +64,7 @@ impl Default for ServerConfig {
             policy_enabled: false,
             archive_site: None,
             score_cache: true,
+            ops_fast_path: false,
         }
     }
 }
@@ -559,6 +565,18 @@ impl SphinxServer {
     /// Reliability index (for reporting).
     pub fn reliability(&self) -> &Reliability {
         &self.sched.reliability
+    }
+
+    /// Live-ops fast path: an online detector decided `site` is swallowing
+    /// jobs, so exclude it from planning now rather than after the
+    /// post-hoc tally catches up. Gated on [`ServerConfig::ops_fast_path`]
+    /// — a no-op (and thus trace-invariant) when the flag is off.
+    pub fn apply_ops_flag(&mut self, site: SiteId, now: SimTime) {
+        if !self.config.ops_fast_path || !self.config.effective_feedback() {
+            return;
+        }
+        let transition = self.sched.reliability.ops_flag(site, now);
+        self.note_flag_transition(transition, site, now);
     }
 
     /// Completion-time statistics (for reporting).
@@ -1313,6 +1331,7 @@ mod tests {
                 policy_enabled: false,
                 archive_site: None,
                 score_cache: true,
+                ops_fast_path: false,
             },
         )
     }
@@ -1450,6 +1469,7 @@ mod tests {
                 policy_enabled: true,
                 archive_site: None,
                 score_cache: true,
+                ops_fast_path: false,
             },
         );
         s.policy_mut()
@@ -1484,6 +1504,7 @@ mod tests {
                 policy_enabled: true,
                 archive_site: None,
                 score_cache: true,
+                ops_fast_path: false,
             },
         );
         s.submit_dag(&dag, UserId(9), SimTime::ZERO).unwrap();

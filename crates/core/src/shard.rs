@@ -330,6 +330,7 @@ impl ShardedRuntime {
                     policy_enabled: config.policy_enabled,
                     archive_site: config.archive_site,
                     score_cache: config.score_cache,
+                    ops_fast_path: config.ops_fast_path,
                 },
             );
             server.set_telemetry(Arc::clone(&report_hub));

@@ -223,8 +223,24 @@ impl Monitor {
     }
 
     /// All currently visible reports.
+    ///
+    /// Also refreshes the per-site `monitor.staleness` (report age in
+    /// sim-milliseconds) and `monitor.queue_depth` gauges, so every
+    /// [`sphinx_telemetry::TelemetrySnapshot`] carries the staleness the
+    /// scheduler was actually planning against — the imperfection §2 of
+    /// the paper warns about, made visible.
     pub fn reports(&mut self, now: SimTime) -> Vec<Report> {
         self.promote(now);
+        if let Some(t) = &self.telemetry {
+            for report in self.visible.values() {
+                t.site_gauge_set(
+                    "monitor.staleness",
+                    report.site,
+                    report.age(now).as_millis() as f64,
+                );
+                t.site_gauge_set("monitor.queue_depth", report.site, report.queued as f64);
+            }
+        }
         self.visible.values().cloned().collect()
     }
 
@@ -382,6 +398,30 @@ mod tests {
         assert_eq!(tel.counter("monitor.samples"), 2);
         assert_eq!(tel.counter("monitor.samples_lost"), 1);
         assert_eq!(tel.trace_len(), 1, "one monitor_sample trace per round");
+    }
+
+    #[test]
+    fn reports_publishes_staleness_and_queue_depth_gauges() {
+        let tel = Telemetry::shared();
+        let mut m = perfect();
+        m.set_telemetry(Arc::clone(&tel));
+        m.sample(SimTime::ZERO, &[snap(0, 4, 1, true), snap(1, 2, 0, true)]);
+        m.reports(SimTime::from_secs(90));
+        assert_eq!(
+            tel.site_gauge("monitor.staleness", SiteId(0)),
+            Some(90_000.0)
+        );
+        assert_eq!(tel.site_gauge("monitor.queue_depth", SiteId(0)), Some(4.0));
+        // A lost sample leaves the old report in place; staleness grows.
+        m.sample(SimTime::from_secs(120), &[snap(0, 0, 0, false)]);
+        m.reports(SimTime::from_secs(180));
+        assert_eq!(
+            tel.site_gauge("monitor.staleness", SiteId(0)),
+            Some(180_000.0),
+            "down site's visible report keeps ageing"
+        );
+        let snap = tel.snapshot();
+        assert_eq!(snap.site_gauges["monitor.staleness"].len(), 2);
     }
 
     #[test]

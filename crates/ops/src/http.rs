@@ -1,0 +1,376 @@
+//! The HTTP ops endpoint.
+//!
+//! A deliberately small, hand-rolled HTTP/1.1 server over
+//! `std::net::TcpListener` — the workspace is offline, so there is no
+//! HTTP framework to lean on, and none is needed for four read-only
+//! routes:
+//!
+//! | route       | body                                                |
+//! |-------------|-----------------------------------------------------|
+//! | `/`         | static HTML dashboard that polls `/snapshot`        |
+//! | `/health`   | `ok` (liveness probe)                               |
+//! | `/snapshot` | the latest published [`OpsSnapshot`] as JSON        |
+//! | `/metrics`  | the telemetry registry in Prometheus text format    |
+//!
+//! **Determinism boundary.** This module is the wall-clock side of the
+//! ops plane: the serving thread reads whatever the simulation last
+//! published into the shared snapshot and never feeds anything back.
+//! Socket timeouts here are real-time by nature and do not touch
+//! `SimTime`. The one thread spawn is scoped to serving and carries an
+//! explicit lint allowance.
+
+use crate::OpsSnapshot;
+use parking_lot::Mutex;
+use sphinx_telemetry::{export::prometheus_text, Telemetry};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How long a connection may dribble its request before being dropped.
+const READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+/// Largest request head we will buffer (no route here takes a body).
+const MAX_REQUEST: usize = 16 * 1024;
+
+/// A running ops endpoint. Dropping (or calling [`OpsServer::stop`])
+/// shuts the serving thread down.
+pub struct OpsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl OpsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving the shared snapshot and the telemetry registry.
+    pub fn serve(
+        addr: &str,
+        shared: Arc<Mutex<OpsSnapshot>>,
+        telemetry: Arc<Telemetry>,
+    ) -> io::Result<OpsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        // Serving-only thread: renders published state, never touches
+        // the simulation.
+        // sphinx-lint: allow(thread-spawn)
+        let handle = std::thread::spawn(move || {
+            serve_loop(&listener, &flag, &shared, &telemetry);
+        });
+        Ok(OpsServer {
+            addr: local,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the serving thread and wait for it to exit.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock `accept` by connecting to ourselves; an error just
+        // means the listener is already gone.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for OpsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_loop(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    shared: &Mutex<OpsSnapshot>,
+    telemetry: &Telemetry,
+) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = handle_connection(stream, shared, telemetry);
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &Mutex<OpsSnapshot>,
+    telemetry: &Telemetry,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let path = match read_request_path(&mut stream)? {
+        Some(path) => path,
+        None => return Ok(()),
+    };
+    let (status, content_type, body) = match path.as_str() {
+        "/" | "/index.html" => ("200 OK", "text/html; charset=utf-8", DASHBOARD.to_owned()),
+        "/health" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
+        "/snapshot" => {
+            let json = {
+                let snap = shared.lock();
+                serde_json::to_string(&*snap)
+            };
+            match json {
+                Ok(body) => ("200 OK", "application/json", body),
+                Err(e) => (
+                    "500 Internal Server Error",
+                    "text/plain; charset=utf-8",
+                    format!("snapshot serialization failed: {e}\n"),
+                ),
+            }
+        }
+        "/metrics" => {
+            let snap = telemetry.snapshot();
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                prometheus_text(&snap),
+            )
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_owned(),
+        ),
+    };
+    write_response(&mut stream, status, content_type, body.as_bytes())
+}
+
+/// Read the request head and return the path of the request line, or
+/// `None` for connections that say nothing parseable (including the
+/// empty self-connect used for shutdown).
+fn read_request_path(stream: &mut TcpStream) -> io::Result<Option<String>> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        };
+        buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > MAX_REQUEST {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or_default().split_whitespace();
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().unwrap_or_default();
+    if method != "GET" || path.is_empty() {
+        return Ok(None);
+    }
+    // Strip any query string; the routes take no parameters.
+    let path = path.split('?').next().unwrap_or(path);
+    Ok(Some(path.to_owned()))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// The static dashboard: a single page that polls `/snapshot` and
+/// renders site health, scheduler health and recent alerts.
+const DASHBOARD: &str = r##"<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>SPHINX live ops</title>
+<style>
+  body { font-family: ui-monospace, monospace; margin: 2rem; background: #101418; color: #d8dee6; }
+  h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.5rem; }
+  table { border-collapse: collapse; margin-top: .5rem; }
+  th, td { border: 1px solid #2c3440; padding: .25rem .6rem; text-align: right; }
+  th { background: #1a2028; } td.name { text-align: left; }
+  .bad { color: #ff6b6b; font-weight: bold; }
+  .ok { color: #69d58c; }
+  #meta { color: #8a93a0; margin-top: .5rem; }
+</style>
+</head>
+<body>
+<h1>SPHINX live ops</h1>
+<div id="meta">connecting…</div>
+<h2>Sites</h2>
+<table id="sites"><thead><tr>
+  <th>site</th><th>queue</th><th>stale (s)</th><th>submits</th><th>starts</th>
+  <th>done</th><th>cancel</th><th>latency (s)</th><th>verdict</th>
+</tr></thead><tbody></tbody></table>
+<h2>Scheduler</h2>
+<table id="sched"><thead><tr>
+  <th>plan cycles</th><th>cycle gap (s)</th><th>WAL appends</th><th>WAL/window</th>
+  <th>leases</th><th>expiries</th><th>adoptions</th>
+</tr></thead><tbody></tbody></table>
+<h2>Recent alerts</h2>
+<table id="alerts"><thead><tr>
+  <th>sim time (s)</th><th>detector</th><th>site</th><th>value</th><th>threshold</th>
+</tr></thead><tbody></tbody></table>
+<script>
+function secs(ms) { return (ms / 1000).toFixed(1); }
+function verdict(s) {
+  const bad = [];
+  if (s.black_hole) bad.push("black-hole");
+  if (s.queue_anomaly) bad.push("queue-anomaly");
+  if (s.stale) bad.push("stale");
+  return bad.length ? '<span class="bad">' + bad.join(", ") + "</span>" : '<span class="ok">healthy</span>';
+}
+async function refresh() {
+  try {
+    const r = await fetch("/snapshot");
+    const s = await r.json();
+    document.getElementById("meta").textContent =
+      "sim t=" + secs(s.now_ms) + "s · window " + secs(s.window_ms) + "s · " +
+      s.ticks + " ticks · " + s.events_seen + " events (" + s.events_missed +
+      " missed) · " + s.alerts_total + " alerts";
+    document.querySelector("#sites tbody").innerHTML = s.sites.map(x =>
+      "<tr><td class=name>" + x.site + "</td><td>" + x.queue_depth.toFixed(0) +
+      "</td><td>" + secs(x.staleness_ms) + "</td><td>" + x.submits_recent +
+      "</td><td>" + x.starts_recent + "</td><td>" + x.completions_recent +
+      "</td><td>" + x.cancels_recent + "</td><td>" + secs(x.latency_mean_ms) +
+      "</td><td>" + verdict(x) + "</td></tr>").join("");
+    const h = s.scheduler;
+    document.querySelector("#sched tbody").innerHTML =
+      "<tr><td>" + h.plan_cycles + "</td><td>" + secs(h.last_cycle_gap_ms) +
+      "</td><td>" + h.wal_appends + "</td><td>" + h.wal_appends_last_window +
+      "</td><td>" + h.lease_grants + "</td><td>" + h.lease_expiries +
+      "</td><td>" + h.shard_adoptions + "</td></tr>";
+    document.querySelector("#alerts tbody").innerHTML = s.recent_alerts.map(a =>
+      "<tr><td>" + secs(a.at) + "</td><td>" + a.detector + "</td><td>" + a.site +
+      "</td><td>" + a.value.toFixed(2) + "</td><td>" + a.threshold.toFixed(2) +
+      "</td></tr>").reverse().join("");
+  } catch (e) {
+    document.getElementById("meta").textContent = "snapshot fetch failed: " + e;
+  }
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+"##;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OpsAlert, OpsDetector, SiteHealth};
+    use sphinx_sim::SimTime;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut body = Vec::new();
+        stream.read_to_end(&mut body).unwrap();
+        let text = String::from_utf8(body).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        (head.to_owned(), body.to_owned())
+    }
+
+    fn test_server() -> (OpsServer, Arc<Mutex<OpsSnapshot>>, Arc<Telemetry>) {
+        let telemetry = Arc::new(Telemetry::new());
+        let shared = Arc::new(Mutex::new(OpsSnapshot::default()));
+        let server =
+            OpsServer::serve("127.0.0.1:0", Arc::clone(&shared), Arc::clone(&telemetry)).unwrap();
+        (server, shared, telemetry)
+    }
+
+    #[test]
+    fn health_and_dashboard_respond() {
+        let (server, _shared, _tel) = test_server();
+        let (head, body) = get(server.addr(), "/health");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
+        let (head, body) = get(server.addr(), "/");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("SPHINX live ops"));
+        let (head, _) = get(server.addr(), "/no-such-route");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn snapshot_serves_published_state() {
+        let (server, shared, _tel) = test_server();
+        {
+            let mut snap = shared.lock();
+            snap.now_ms = 4000;
+            snap.sites.push(SiteHealth {
+                site: 7,
+                black_hole: true,
+                ..SiteHealth::default()
+            });
+            snap.recent_alerts.push(OpsAlert {
+                at: SimTime::from_secs(4),
+                detector: OpsDetector::BlackHole,
+                site: 7,
+                value: 3.0,
+                threshold: 2.0,
+            });
+        }
+        let (head, body) = get(server.addr(), "/snapshot");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let parsed: OpsSnapshot = serde_json::from_str(&body).unwrap();
+        assert_eq!(parsed.now_ms, 4000);
+        assert_eq!(parsed.sites.len(), 1);
+        assert!(parsed.sites[0].black_hole);
+        assert_eq!(parsed.recent_alerts[0].detector, OpsDetector::BlackHole);
+    }
+
+    #[test]
+    fn metrics_serves_prometheus_text() {
+        let (server, _shared, tel) = test_server();
+        tel.counter_add("ops.alerts", 3);
+        tel.site_gauge_set("monitor.staleness", sphinx_data::SiteId(1), 1500.0);
+        let (head, body) = get(server.addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("sphinx_ops_alerts 3"), "{body}");
+        assert!(
+            body.contains("sphinx_monitor_staleness{site=\"1\"} 1500"),
+            "{body}"
+        );
+        sphinx_telemetry::export::validate_prometheus(&body).unwrap();
+    }
+
+    #[test]
+    fn stop_terminates_the_serving_thread() {
+        let (mut server, _shared, _tel) = test_server();
+        let addr = server.addr();
+        server.stop();
+        // A second stop is a no-op; the port no longer answers.
+        server.stop();
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may allow one last connect to a closing socket;
+                // but the thread is provably joined by `stop` returning.
+                true
+            }
+        );
+    }
+}

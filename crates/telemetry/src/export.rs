@@ -206,6 +206,17 @@ pub fn prometheus_text(snap: &TelemetrySnapshot) -> String {
         let _ = writeln!(out, "{n}_sum {}", prom_value(hist.sum));
         let _ = writeln!(out, "{n}_count {}", hist.count);
     }
+    // Per-site gauge families (monitor staleness / queue depth).
+    for (name, per_site) in &snap.site_gauges {
+        if per_site.is_empty() {
+            continue;
+        }
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        for (site, value) in per_site {
+            let _ = writeln!(out, "{n}{{site=\"{site}\"}} {}", prom_value(*value));
+        }
+    }
     // Per-site tallies as labelled counter families.
     type TallyColumn = (&'static str, fn(&crate::SiteTally) -> u64);
     let columns: [TallyColumn; 5] = [
@@ -528,6 +539,20 @@ mod tests {
         assert!(text.contains("sphinx_fsa_dwell_ms_ready_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("sphinx_fsa_dwell_ms_ready_count 2"));
         assert!(text.contains("sphinx_site_submits{site=\"1\"} 1"));
+        validate_prometheus(&text).expect("own output validates");
+    }
+
+    #[test]
+    fn prometheus_renders_site_gauge_families() {
+        let tel = Telemetry::new();
+        tel.site_gauge_set("monitor.staleness", SiteId(0), 120_000.0);
+        tel.site_gauge_set("monitor.staleness", SiteId(3), 0.5);
+        tel.site_gauge_set("monitor.queue_depth", SiteId(3), 12.0);
+        let text = prometheus_text(&tel.snapshot());
+        assert!(text.contains("# TYPE sphinx_monitor_staleness gauge"));
+        assert!(text.contains("sphinx_monitor_staleness{site=\"0\"} 120000"));
+        assert!(text.contains("sphinx_monitor_staleness{site=\"3\"} 0.5"));
+        assert!(text.contains("sphinx_monitor_queue_depth{site=\"3\"} 12"));
         validate_prometheus(&text).expect("own output validates");
     }
 

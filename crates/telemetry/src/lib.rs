@@ -41,6 +41,8 @@
 //! | `db.cache.hits`, `db.cache.misses` | counter |
 //! | `monitor.samples`, `monitor.samples_lost` | counter |
 //! | `grid.submits`, `grid.queues`, `grid.starts`, `grid.completions`, `grid.holds`, `grid.cancels` | counter |
+//! | `monitor.staleness`, `monitor.queue_depth` | per-site gauge |
+//! | `ops.alerts`, `ops.poll.missed` | counter |
 //! | `telemetry.trace.{recorded,dropped}` | counter (snapshot-synthesized) |
 //! | `telemetry.spans.{total,live,dropped}` | counter (snapshot-synthesized) |
 //! | `fsa.dwell_ms.{ready,submitted,queued,running,unready}` | histogram |
@@ -118,6 +120,10 @@ pub enum TraceKind {
     /// Sharded coordination: a surviving shard adopted a dead shard's
     /// DAG partition after WAL replay.
     ShardAdoption,
+    /// Live ops plane: an online anomaly detector fired (black-hole,
+    /// queue-anomaly or staleness). `detail` carries the detector name
+    /// and its evidence; deterministic across same-seed runs.
+    OpsAlert,
 }
 
 impl TraceKind {
@@ -147,8 +153,43 @@ impl TraceKind {
             TraceKind::LeaseGranted => "lease_granted",
             TraceKind::LeaseExpired => "lease_expired",
             TraceKind::ShardAdoption => "shard_adoption",
+            TraceKind::OpsAlert => "ops_alert",
         }
     }
+}
+
+/// Allocation-free projection of a [`TraceEvent`]: everything but the
+/// `detail` string. This is what the live ops aggregator consumes each
+/// planner cycle via [`Telemetry::ops_poll`] — copying `detail` for
+/// every event would put a per-event allocation on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEventLite {
+    /// Simulation time of the event.
+    pub sim_time: SimTime,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Dense job key, if the event concerns one job.
+    pub job: Option<u64>,
+    /// Site involved, if any.
+    pub site: Option<u32>,
+}
+
+/// Reusable buffer filled by [`Telemetry::ops_poll`]. Owning the vectors
+/// on the caller side means a steady-state poll performs no allocation
+/// at all: `clear` + `push` into already-grown buffers.
+#[derive(Debug, Default)]
+pub struct OpsPoll {
+    /// Ring events at sequence ≥ the poll cursor, oldest first.
+    pub events: Vec<TraceEventLite>,
+    /// Events that fell off the ring (or were drained) before this poll
+    /// could see them; the aggregator surfaces this as data loss.
+    pub missed: u64,
+    /// Every counter, name-sorted (`&'static str` keys are copied, not
+    /// allocated).
+    pub counters: Vec<(&'static str, u64)>,
+    /// Every per-site gauge as `(family, site, value)`, sorted by family
+    /// then site.
+    pub site_gauges: Vec<(&'static str, u32, f64)>,
 }
 
 /// One structured trace record, stamped with simulation time only.
@@ -407,6 +448,9 @@ struct JobTrack {
 struct Inner {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
+    /// Per-site labelled gauge families (`monitor.staleness{site="3"}`),
+    /// keyed family → site → value.
+    site_gauges: BTreeMap<&'static str, BTreeMap<u32, f64>>,
     histograms: BTreeMap<&'static str, Histogram>,
     sites: BTreeMap<u32, SiteTally>,
     /// Last-known FSA state and entry time per job key (dwell tracking).
@@ -468,6 +512,7 @@ impl Telemetry {
             inner: Mutex::new(Inner {
                 counters: BTreeMap::new(),
                 gauges: BTreeMap::new(),
+                site_gauges: BTreeMap::new(),
                 histograms: BTreeMap::new(),
                 sites: BTreeMap::new(),
                 job_states: BTreeMap::new(),
@@ -519,6 +564,26 @@ impl Telemetry {
         self.inner.lock().gauges.insert(name, value);
     }
 
+    /// Set one site's value in a per-site labelled gauge family
+    /// (`name{site="<id>"}` in the Prometheus export).
+    pub fn site_gauge_set(&self, name: &'static str, site: SiteId, value: f64) {
+        self.inner
+            .lock()
+            .site_gauges
+            .entry(name)
+            .or_default()
+            .insert(site.0, value);
+    }
+
+    /// One site's current value in a per-site gauge family, if set.
+    pub fn site_gauge(&self, name: &str, site: SiteId) -> Option<f64> {
+        self.inner
+            .lock()
+            .site_gauges
+            .get(name)
+            .and_then(|per_site| per_site.get(&site.0).copied())
+    }
+
     /// Record one value into a fixed-bucket histogram.
     pub fn observe(&self, name: &'static str, value: f64) {
         self.inner
@@ -568,6 +633,44 @@ impl Telemetry {
             inner.dropped += 1;
         }
         inner.ring.push_back(event);
+    }
+
+    /// Incremental poll for the live ops aggregator: under **one** lock
+    /// acquisition, copy every ring event at sequence ≥ `cursor` plus
+    /// the current counters and per-site gauges into `poll`'s reusable
+    /// buffers, and return the new cursor (the total recorded count).
+    ///
+    /// The cursor is an absolute event sequence number; events that fell
+    /// off the ring (capacity overflow or `drain_trace`) before the poll
+    /// are reported in [`OpsPoll::missed`] rather than silently skipped.
+    /// Steady-state polls allocate nothing: the buffers are cleared and
+    /// refilled in place.
+    pub fn ops_poll(&self, cursor: u64, poll: &mut OpsPoll) -> u64 {
+        poll.events.clear();
+        poll.counters.clear();
+        poll.site_gauges.clear();
+        let inner = self.inner.lock();
+        // Sequence number of the oldest event still in the ring.
+        let start = inner.recorded - inner.ring.len() as u64;
+        poll.missed = start.saturating_sub(cursor);
+        let skip = cursor.saturating_sub(start) as usize;
+        for event in inner.ring.iter().skip(skip) {
+            poll.events.push(TraceEventLite {
+                sim_time: event.sim_time,
+                kind: event.kind,
+                job: event.job,
+                site: event.site,
+            });
+        }
+        for (name, value) in inner.counters.iter() {
+            poll.counters.push((*name, *value));
+        }
+        for (name, per_site) in inner.site_gauges.iter() {
+            for (site, value) in per_site.iter() {
+                poll.site_gauges.push((*name, *site, *value));
+            }
+        }
+        inner.recorded
     }
 
     /// Number of events currently buffered.
@@ -1005,6 +1108,11 @@ impl Telemetry {
                 .iter()
                 .map(|(k, v)| ((*k).to_owned(), *v))
                 .collect(),
+            site_gauges: inner
+                .site_gauges
+                .iter()
+                .map(|(k, per_site)| ((*k).to_owned(), per_site.clone()))
+                .collect(),
             histograms: inner
                 .histograms
                 .iter()
@@ -1040,6 +1148,10 @@ pub struct TelemetrySnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Gauges by name.
     pub gauges: BTreeMap<String, f64>,
+    /// Per-site labelled gauge families, family → site → value
+    /// (`monitor.staleness`, `monitor.queue_depth`, …).
+    #[serde(default)]
+    pub site_gauges: BTreeMap<String, BTreeMap<u32, f64>>,
     /// Histograms by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Per-site grid tallies, keyed by site id.
@@ -1385,6 +1497,92 @@ mod tests {
             let back: TraceEvent = serde_json::from_str(&hand).unwrap();
             assert_eq!(back, event);
         }
+    }
+
+    #[test]
+    fn site_gauges_round_trip_snapshot() {
+        let tel = Telemetry::new();
+        tel.site_gauge_set("monitor.staleness", SiteId(2), 120_000.0);
+        tel.site_gauge_set("monitor.staleness", SiteId(0), 0.0);
+        tel.site_gauge_set("monitor.staleness", SiteId(2), 240_000.0);
+        tel.site_gauge_set("monitor.queue_depth", SiteId(0), 7.0);
+        assert_eq!(
+            tel.site_gauge("monitor.staleness", SiteId(2)),
+            Some(240_000.0)
+        );
+        assert_eq!(tel.site_gauge("monitor.staleness", SiteId(9)), None);
+        let snap = tel.snapshot();
+        assert_eq!(snap.site_gauges["monitor.staleness"][&2], 240_000.0);
+        assert_eq!(snap.site_gauges["monitor.queue_depth"][&0], 7.0);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        // Old snapshots without the field still deserialize.
+        let legacy: TelemetrySnapshot = serde_json::from_str(
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"sites\":{},\
+             \"trace_recorded\":0,\"trace_dropped\":0}",
+        )
+        .unwrap();
+        assert!(legacy.site_gauges.is_empty());
+    }
+
+    #[test]
+    fn ops_poll_is_cursor_incremental() {
+        let tel = Telemetry::new();
+        tel.counter_add("plan.cycles", 1);
+        tel.site_gauge_set("monitor.queue_depth", SiteId(1), 3.0);
+        for i in 0..3u64 {
+            tel.trace(
+                TraceKind::GridSubmit,
+                t(i),
+                Some(i),
+                Some(SiteId(1)),
+                String::new(),
+            );
+        }
+        let mut poll = OpsPoll::default();
+        let cursor = tel.ops_poll(0, &mut poll);
+        assert_eq!(cursor, 3);
+        assert_eq!(poll.missed, 0);
+        assert_eq!(poll.events.len(), 3);
+        assert_eq!(poll.events[0].kind, TraceKind::GridSubmit);
+        assert_eq!(poll.events[2].job, Some(2));
+        assert!(poll.counters.contains(&("plan.cycles", 1)));
+        assert_eq!(poll.site_gauges, vec![("monitor.queue_depth", 1, 3.0)]);
+        // Nothing new → empty poll, same cursor.
+        let cursor2 = tel.ops_poll(cursor, &mut poll);
+        assert_eq!(cursor2, 3);
+        assert!(poll.events.is_empty());
+        // New events since the cursor are picked up exactly once.
+        tel.trace(
+            TraceKind::GridStart,
+            t(5),
+            Some(0),
+            Some(SiteId(1)),
+            String::new(),
+        );
+        let cursor3 = tel.ops_poll(cursor2, &mut poll);
+        assert_eq!(cursor3, 4);
+        assert_eq!(poll.events.len(), 1);
+        assert_eq!(poll.events[0].kind, TraceKind::GridStart);
+    }
+
+    #[test]
+    fn ops_poll_counts_events_lost_to_ring_overflow() {
+        let tel = Telemetry::with_config(TelemetryConfig {
+            trace_capacity: 2,
+            ..TelemetryConfig::default()
+        });
+        for i in 0..5u64 {
+            tel.trace(TraceKind::PlanCycle, t(i), None, None, String::new());
+        }
+        let mut poll = OpsPoll::default();
+        // Cursor 1, but the ring only holds sequences 3..5 → 2 missed.
+        let cursor = tel.ops_poll(1, &mut poll);
+        assert_eq!(cursor, 5);
+        assert_eq!(poll.missed, 2);
+        assert_eq!(poll.events.len(), 2);
+        assert_eq!(poll.events[0].sim_time, t(3));
     }
 
     #[test]

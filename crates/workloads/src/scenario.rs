@@ -108,6 +108,14 @@ pub struct Scenario {
     /// before/after comparison). Defaults to `false`: cache on.
     #[serde(default)]
     pub no_score_cache: bool,
+    /// Live ops plane: run the streaming aggregator + online anomaly
+    /// detectors each planner cycle (`None` = off).
+    #[serde(default)]
+    pub ops: Option<sphinx_ops::OpsConfig>,
+    /// Let ops black-hole alerts feed the reliability index immediately
+    /// (requires `ops`).
+    #[serde(default)]
+    pub ops_fast_path: bool,
 }
 
 impl Scenario {
@@ -194,6 +202,8 @@ impl Scenario {
             horizon: self.horizon,
             seed: self.seed,
             score_cache: !self.no_score_cache,
+            ops: self.ops.clone(),
+            ops_fast_path: self.ops_fast_path,
             ..RuntimeConfig::default()
         };
         config.telemetry.wall_clock = self.wall_clock_telemetry;
@@ -316,6 +326,8 @@ impl Default for ScenarioBuilder {
                 wall_clock_telemetry: false,
                 telemetry_capacities: None,
                 no_score_cache: false,
+                ops: None,
+                ops_fast_path: false,
             },
         }
     }
@@ -420,6 +432,20 @@ impl ScenarioBuilder {
     /// path the equivalence suite compares against).
     pub fn no_score_cache(mut self, disabled: bool) -> Self {
         self.scenario.no_score_cache = disabled;
+        self
+    }
+
+    /// Enable the live ops plane (streaming aggregator + online anomaly
+    /// detectors, ticked each planner cycle).
+    pub fn ops(mut self, config: sphinx_ops::OpsConfig) -> Self {
+        self.scenario.ops = Some(config);
+        self
+    }
+
+    /// Let ops black-hole alerts feed the reliability index immediately
+    /// (requires [`ScenarioBuilder::ops`]).
+    pub fn ops_fast_path(mut self, enabled: bool) -> Self {
+        self.scenario.ops_fast_path = enabled;
         self
     }
 

@@ -49,6 +49,7 @@ fn main() {
             policy_enabled: false,
             archive_site: None,
             score_cache: true,
+            ops_fast_path: false,
         },
     );
     println!("server thread booted; submitting a 30-job DAG over RPC…");

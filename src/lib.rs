@@ -47,6 +47,7 @@ pub use sphinx_data as data;
 pub use sphinx_db as db;
 pub use sphinx_grid as grid;
 pub use sphinx_monitor as monitor;
+pub use sphinx_ops as ops;
 pub use sphinx_policy as policy;
 pub use sphinx_sim as sim;
 pub use sphinx_telemetry as telemetry;

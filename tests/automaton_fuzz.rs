@@ -71,6 +71,7 @@ proptest! {
                 policy_enabled: false,
                 archive_site: None,
                 score_cache: true,
+                ops_fast_path: false,
             },
         );
         let mut rls = ReplicaService::new();
